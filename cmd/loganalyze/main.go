@@ -1,0 +1,61 @@
+// Command loganalyze aggregates a voice-OLAP query log (the JSON served by
+// voiceolapd's /api/log endpoint) into Table 9-style statistics: per-method
+// speech lengths and latencies, and per-session query counts — the same
+// analysis the paper ran over its study logs.
+//
+// Usage:
+//
+//	loganalyze [-in log.json]           # or pipe the log on stdin
+//	curl -s localhost:8080/api/log | loganalyze
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/web"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loganalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "log JSON file (default: stdin)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	var entries []web.QueryLogEntry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("decoding log: %w", err)
+	}
+	a := web.AnalyzeLog(entries)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "method\tqueries\tavgChars\tmaxChars\tavgLatencyMs\tmaxLatencyMs")
+	for _, m := range a.Methods {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%.1f\t%.1f\n",
+			m.Method, m.Queries, m.AvgChars, m.MaxChars, m.AvgLatencyMS, m.MaxLatencyMS)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "session\tqueries\tduration")
+	for _, s := range a.Sessions {
+		fmt.Fprintf(w, "%s\t%d\t%v\n", s.Session, s.Queries, s.Last.Sub(s.First))
+	}
+	return w.Flush()
+}

@@ -1,0 +1,65 @@
+// Command voiceolapd serves the voice-OLAP web interface used by the
+// paper's crowd study: a single page where each query can be answered by
+// either vocalization method, spoken by the browser's speech synthesis.
+//
+// Usage:
+//
+//	voiceolapd [-addr :8080] [-flight-rows N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/speech"
+	"repro/internal/voice"
+	"repro/internal/web"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "voiceolapd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	flightRows := flag.Int("flight-rows", datagen.DefaultFlightRows, "flight dataset rows")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	fmt.Printf("generating datasets (flights: %d rows)...\n", *flightRows)
+	flights, err := datagen.Flights(datagen.FlightsConfig{Rows: *flightRows, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	salaries, err := datagen.Salaries(datagen.SalariesConfig{Seed: *seed + 1})
+	if err != nil {
+		return err
+	}
+
+	cfg := core.Config{
+		Seed:                 *seed,
+		Clock:                voice.NewSimClock(),
+		SimRoundCost:         time.Millisecond,
+		MaxRoundsPerSentence: 2000,
+		MaxTreeNodes:         100000,
+	}
+	srv, err := web.NewServer(cfg,
+		web.DatasetInfo{Name: "flights", Dataset: flights, MeasureCol: "cancelled",
+			MeasureDesc: "average cancellation probability", Format: speech.PercentFormat},
+		web.DatasetInfo{Name: "salaries", Dataset: salaries, MeasureCol: "midCareerSalary",
+			MeasureDesc: "average mid-career salary", Format: speech.ThousandsFormat},
+	)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving voice-based OLAP on %s\n", *addr)
+	return http.ListenAndServe(*addr, srv.Handler())
+}

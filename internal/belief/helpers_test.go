@@ -1,0 +1,34 @@
+package belief
+
+import (
+	"testing"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+	"repro/internal/table"
+)
+
+// buildRegionDataset creates a one-row-per-region table bound to loc.
+func buildRegionDataset(loc *dimension.Hierarchy) (*olap.Dataset, error) {
+	region := table.NewStringColumn("region")
+	salary := table.NewFloat64Column("salary")
+	for _, m := range loc.MembersAt(1) {
+		region.Append(m.Name)
+		salary.Append(80000)
+	}
+	tab, err := table.New("salaries", region, salary)
+	if err != nil {
+		return nil, err
+	}
+	return olap.NewDataset(tab, loc)
+}
+
+// tableColumn is a trivial helper asserting the hierarchy has regions.
+func tableColumn(t *testing.T, loc *dimension.Hierarchy) []*dimension.Member {
+	t.Helper()
+	ms := loc.MembersAt(1)
+	if len(ms) == 0 {
+		t.Fatal("hierarchy has no regions")
+	}
+	return ms
+}

@@ -1,0 +1,90 @@
+package belief
+
+import (
+	"math"
+
+	"repro/internal/olap"
+	"repro/internal/speech"
+)
+
+// Alternative speech-scoring metrics. The paper's quality (Definition 2.2)
+// is the average bucket probability; these variants answer "would a
+// different distance between belief and data change the conclusions?" and
+// power the metric-robustness experiment. All skip empty aggregates.
+
+// LogLoss returns the mean negative log belief density at the actual
+// values — the proper scoring rule counterpart of Quality. Lower is
+// better; the return value is negated so that, like Quality, higher is
+// better.
+func (m *Model) LogLoss(s *speech.Speech, result *olap.Result) float64 {
+	var sum float64
+	var n int
+	for a := 0; a < m.space.Size(); a++ {
+		v := result.Value(a)
+		if math.IsNaN(v) {
+			continue
+		}
+		d := m.Belief(s, a).PDF(v)
+		if d < 1e-300 {
+			d = 1e-300
+		}
+		sum += math.Log(d)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ExpectedAbsError returns the mean expected absolute estimation error of
+// a listener sampling from the induced beliefs (the folded-normal mean):
+// for X ~ N(µ, σ) and actual v, with d = µ - v and z = d/σ,
+// E|X - v| = σ·sqrt(2/π)·exp(-z²/2) + d·(1 - 2Φ(-z)). Lower is better.
+func (m *Model) ExpectedAbsError(s *speech.Speech, result *olap.Result) float64 {
+	var sum float64
+	var n int
+	for a := 0; a < m.space.Size(); a++ {
+		v := result.Value(a)
+		if math.IsNaN(v) {
+			continue
+		}
+		b := m.Belief(s, a)
+		d := b.Mu - v
+		z := d / b.Sigma
+		sum += b.Sigma*math.Sqrt(2/math.Pi)*math.Exp(-z*z/2) + d*(1-2*stdNormalCDF(-z))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// CRPS returns the mean continuous ranked probability score of the
+// beliefs against the actual values: for N(µ,σ) and observation v with
+// z=(v-µ)/σ, CRPS = σ·(z·(2Φ(z)-1) + 2φ(z) - 1/√π). Lower is better.
+func (m *Model) CRPS(s *speech.Speech, result *olap.Result) float64 {
+	var sum float64
+	var n int
+	for a := 0; a < m.space.Size(); a++ {
+		v := result.Value(a)
+		if math.IsNaN(v) {
+			continue
+		}
+		b := m.Belief(s, a)
+		z := (v - b.Mu) / b.Sigma
+		sum += b.Sigma * (z*(2*stdNormalCDF(z)-1) + 2*stdNormalPDF(z) - 1/math.Sqrt(math.Pi))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// stdNormalCDF is Φ.
+func stdNormalCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// stdNormalPDF is φ.
+func stdNormalPDF(z float64) float64 { return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi) }

@@ -1,0 +1,284 @@
+package belief
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datagen"
+	"repro/internal/dimension"
+	"repro/internal/olap"
+	"repro/internal/speech"
+	"repro/internal/stats"
+)
+
+type env struct {
+	dataset *olap.Dataset
+	space   *olap.Space
+	model   *Model
+	gen     *speech.Generator
+	result  *olap.Result
+	airport *dimension.Hierarchy
+	date    *dimension.Hierarchy
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	d, err := datagen.Flights(datagen.FlightsConfig{Rows: 20000, Seed: 31})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	airport := d.HierarchyByName("start airport")
+	date := d.HierarchyByName("flight date")
+	q := olap.Query{
+		Fct: olap.Avg, Col: "cancelled",
+		ColDescription: "average cancellation probability",
+		GroupBy: []olap.GroupBy{
+			{Hierarchy: airport, Level: 1},
+			{Hierarchy: date, Level: 1},
+		},
+	}
+	s, err := olap.NewSpace(d, q)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	r, err := olap.EvaluateSpace(s)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	sigma := SigmaFromScale(r.GrandValue())
+	m, err := NewModel(s, sigma)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	return &env{
+		dataset: d, space: s, model: m,
+		gen:    speech.NewGenerator(s, speech.DefaultPrefs(), speech.PercentFormat),
+		result: r, airport: airport, date: date,
+	}
+}
+
+func (e *env) baselineSpeech(v float64) *speech.Speech {
+	return &speech.Speech{
+		Baseline: &speech.Baseline{Value: v, AggName: "average cancellation probability", Format: speech.PercentFormat},
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	e := newEnv(t)
+	if _, err := NewModel(nil, 1); err == nil {
+		t.Error("nil space should fail")
+	}
+	if _, err := NewModel(e.space, 0); err == nil {
+		t.Error("zero sigma should fail")
+	}
+	if _, err := NewModel(e.space, math.NaN()); err == nil {
+		t.Error("NaN sigma should fail")
+	}
+	if e.model.Space() != e.space || e.model.Sigma() <= 0 {
+		t.Error("accessors misbehave")
+	}
+}
+
+func TestBaselineOnlyMeans(t *testing.T) {
+	e := newEnv(t)
+	s := e.baselineSpeech(0.02)
+	for a := 0; a < e.space.Size(); a++ {
+		if got := e.model.Mean(s, a); got != 0.02 {
+			t.Fatalf("aggregate %d mean = %v, want 0.02", a, got)
+		}
+	}
+}
+
+func TestNoBaselineMeansZero(t *testing.T) {
+	e := newEnv(t)
+	s := &speech.Speech{}
+	if e.model.Mean(s, 0) != 0 {
+		t.Error("speech without baseline should have zero means")
+	}
+}
+
+func TestRefinementShiftsScope(t *testing.T) {
+	e := newEnv(t)
+	ne := e.airport.FindMember("the North East")
+	s := e.baselineSpeech(0.02)
+	s = s.Extend(&speech.Refinement{
+		Preds: []*dimension.Member{ne}, Dir: speech.Increase, Percent: 50,
+		ScopeSize: e.space.ScopeSize([]*dimension.Member{ne}),
+	})
+	nIn, nOut := 0, 0
+	for a := 0; a < e.space.Size(); a++ {
+		mean := e.model.Mean(s, a)
+		if e.space.InScope(a, []*dimension.Member{ne}) {
+			if math.Abs(mean-0.03) > 1e-12 {
+				t.Errorf("in-scope mean = %v, want 0.03", mean)
+			}
+			nIn++
+		} else {
+			if mean >= 0.02 {
+				t.Errorf("out-of-scope mean = %v, should drop below baseline", mean)
+			}
+			nOut++
+		}
+	}
+	if nIn != 4 || nOut != 16 {
+		t.Errorf("scope split = %d/%d, want 4/16", nIn, nOut)
+	}
+}
+
+// TestPaperExample34 reproduces Example 3.4: salary 80 K baseline, +50% for
+// the Northeast, four regions; Northeast belief 120 K, others 66 667.
+func TestPaperExample34(t *testing.T) {
+	loc := dimension.MustNewHierarchy("region", "region", "graduates from", "any region", []string{"region"})
+	for _, r := range []string{"the Northeast", "the Midwest", "the West", "the South"} {
+		loc.MustAddPath(r)
+	}
+	col := tableColumn(t, loc)
+	_ = col
+	d := salaryRegionsDataset(t, loc)
+	q := olap.Query{
+		Fct: olap.Avg, Col: "salary",
+		GroupBy: []olap.GroupBy{{Hierarchy: loc, Level: 1}},
+	}
+	space, err := olap.NewSpace(d, q)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	m, err := NewModel(space, 40000)
+	if err != nil {
+		t.Fatalf("NewModel: %v", err)
+	}
+	ne := loc.FindMember("the Northeast")
+	s := &speech.Speech{Baseline: &speech.Baseline{Value: 80000, AggName: "average salary", Format: speech.ThousandsFormat}}
+	s = s.Extend(&speech.Refinement{
+		Preds: []*dimension.Member{ne}, Dir: speech.Increase, Percent: 50,
+		ScopeSize: space.ScopeSize([]*dimension.Member{ne}),
+	})
+	neIdx := space.IndexOf([]*dimension.Member{ne})
+	if got := m.Mean(s, neIdx); math.Abs(got-120000) > 1e-6 {
+		t.Errorf("Northeast mean = %v, want 120000", got)
+	}
+	mw := loc.FindMember("the Midwest")
+	mwIdx := space.IndexOf([]*dimension.Member{mw})
+	if got := m.Mean(s, mwIdx); math.Abs(got-66666.666666) > 1e-3 {
+		t.Errorf("Midwest mean = %v, want 66666.67", got)
+	}
+	// The full belief is the paper's N(120000, 40000).
+	b := m.Belief(s, neIdx)
+	if b.Mu != m.Mean(s, neIdx) || b.Sigma != 40000 {
+		t.Errorf("belief = %v", b)
+	}
+}
+
+// TestBeliefBaselineConsistency is Theorem A.1 as a property test: for
+// random refinement chains, the average of the induced means over all
+// aggregates equals the baseline value.
+func TestBeliefBaselineConsistencyProperty(t *testing.T) {
+	e := newEnv(t)
+	cands := e.gen.Refinements(nil)
+	f := func(seed int64, nRefsSeed uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRefs := int(nRefsSeed) % 4
+		s := e.baselineSpeech(0.02)
+		for i := 0; i < nRefs; i++ {
+			s = s.Extend(cands[rng.Intn(len(cands))])
+		}
+		means := e.model.Means(s)
+		return math.Abs(stats.Mean(means)-0.02) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRewardRange(t *testing.T) {
+	e := newEnv(t)
+	s := e.baselineSpeech(0.02)
+	r := e.model.Reward(s, 0, 0.02)
+	if r <= 0 || r > 1 {
+		t.Errorf("reward = %v, want in (0, 1]", r)
+	}
+	// A wildly wrong estimate scores lower.
+	far := e.model.Reward(s, 0, 5.0)
+	if far >= r {
+		t.Errorf("distant estimate reward %v should be below %v", far, r)
+	}
+}
+
+func TestRewardZeroEstimateBucket(t *testing.T) {
+	e := newEnv(t)
+	s := e.baselineSpeech(0.001)
+	r := e.model.Reward(s, 0, 0)
+	if r <= 0 {
+		t.Error("zero estimates should still have a positive-probability bucket")
+	}
+}
+
+func TestQualityRanksTruthfulSpeeches(t *testing.T) {
+	e := newEnv(t)
+	grand := e.result.GrandValue()
+	truthful := e.baselineSpeech(stats.RoundSig(grand, 2))
+	wrong := e.baselineSpeech(stats.RoundSig(grand*10, 2))
+	qTrue := e.model.Quality(truthful, e.result)
+	qWrong := e.model.Quality(wrong, e.result)
+	if qTrue <= qWrong {
+		t.Errorf("truthful baseline quality %v should beat wrong baseline %v", qTrue, qWrong)
+	}
+	if qTrue <= 0 || qTrue > 1 {
+		t.Errorf("quality = %v out of range", qTrue)
+	}
+}
+
+func TestQualityRewardsGoodRefinements(t *testing.T) {
+	e := newEnv(t)
+	grand := e.result.GrandValue()
+	base := e.baselineSpeech(stats.RoundSig(grand, 1))
+	winter := e.date.FindMember("Winter")
+	goodRef := base.Extend(&speech.Refinement{
+		Preds: []*dimension.Member{winter}, Dir: speech.Increase, Percent: 100,
+		ScopeSize: e.space.ScopeSize([]*dimension.Member{winter}),
+	})
+	badRef := base.Extend(&speech.Refinement{
+		Preds: []*dimension.Member{winter}, Dir: speech.Decrease, Percent: 50,
+		ScopeSize: e.space.ScopeSize([]*dimension.Member{winter}),
+	})
+	qGood := e.model.Quality(goodRef, e.result)
+	qBad := e.model.Quality(badRef, e.result)
+	if qGood <= qBad {
+		t.Errorf("winter-increase quality %v should beat winter-decrease %v", qGood, qBad)
+	}
+}
+
+func TestQualityPanicsOnForeignResult(t *testing.T) {
+	e := newEnv(t)
+	other := newEnv(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for foreign result")
+		}
+	}()
+	e.model.Quality(e.baselineSpeech(0.02), other.result)
+}
+
+func TestMeanScopeSizeFallback(t *testing.T) {
+	e := newEnv(t)
+	ne := e.airport.FindMember("the North East")
+	// Refinement without precomputed ScopeSize: model computes it.
+	s := e.baselineSpeech(0.02)
+	s = s.Extend(&speech.Refinement{Preds: []*dimension.Member{ne}, Dir: speech.Increase, Percent: 50})
+	means := e.model.Means(s)
+	if math.Abs(stats.Mean(means)-0.02) > 1e-12 {
+		t.Error("fallback scope size should preserve consistency")
+	}
+}
+
+// salaryRegionsDataset builds a 4-row dataset, one row per region.
+func salaryRegionsDataset(t *testing.T, loc *dimension.Hierarchy) *olap.Dataset {
+	t.Helper()
+	d, err := buildRegionDataset(loc)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	return d
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dimension"
+	"repro/internal/olap"
+	"repro/internal/speech"
+	"repro/internal/voice"
+)
+
+// testConfig keeps runs fast and deterministic: simulated clock, reduced
+// percent menu, bounded planning rounds.
+func testConfig(seed int64) Config {
+	return Config{
+		Percents:             []int{50, 100},
+		Seed:                 seed,
+		Clock:                voice.NewSimClock(),
+		SimRoundCost:         time.Millisecond,
+		MaxRoundsPerSentence: 2000,
+	}
+}
+
+func flightsQuery(t *testing.T, rows int, seed int64) (*olap.Dataset, olap.Query) {
+	t.Helper()
+	d, err := datagen.Flights(datagen.FlightsConfig{Rows: rows, Seed: seed})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	q := olap.Query{
+		Fct: olap.Avg, Col: "cancelled",
+		ColDescription: "average cancellation probability",
+		GroupBy: []olap.GroupBy{
+			{Hierarchy: d.HierarchyByName("start airport"), Level: 1},
+			{Hierarchy: d.HierarchyByName("flight date"), Level: 1},
+		},
+	}
+	return d, q
+}
+
+func TestHolisticProducesValidSpeech(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 51)
+	out, err := NewHolistic(d, q, testConfig(1)).Vocalize()
+	if err != nil {
+		t.Fatalf("Vocalize: %v", err)
+	}
+	sp := out.Speech
+	if sp.Preamble == nil || sp.Baseline == nil {
+		t.Fatal("speech should have preamble and baseline")
+	}
+	if !sp.Valid(speech.DefaultPrefs()) {
+		t.Errorf("invalid speech: %q", sp.MainText())
+	}
+	if len(sp.Refinements) == 0 {
+		t.Error("holistic should add refinements within the budget")
+	}
+	if out.RowsRead == 0 || out.TreeSamples == 0 {
+		t.Error("holistic should sample rows and the tree")
+	}
+	// Transcript: preamble + baseline + refinements, in order.
+	if len(out.Transcript) != 1+sp.NumFragments() {
+		t.Errorf("transcript = %d utterances, want %d", len(out.Transcript), 1+sp.NumFragments())
+	}
+	if !strings.HasPrefix(out.Transcript[0].Text, "Considering") {
+		t.Errorf("first utterance should be the preamble, got %q", out.Transcript[0].Text)
+	}
+}
+
+func TestHolisticDeterministicWithSeed(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 52)
+	a, err := NewHolistic(d, q, testConfig(7)).Vocalize()
+	if err != nil {
+		t.Fatalf("Vocalize: %v", err)
+	}
+	b, err := NewHolistic(d, q, testConfig(7)).Vocalize()
+	if err != nil {
+		t.Fatalf("Vocalize: %v", err)
+	}
+	if a.Text() != b.Text() {
+		t.Errorf("same seed should reproduce the speech:\n%s\nvs\n%s", a.Text(), b.Text())
+	}
+}
+
+func TestHolisticLatencyBeatsOptimal(t *testing.T) {
+	d, q := flightsQuery(t, 100000, 53)
+	cfg := testConfig(2)
+	// Real clocks for latency comparison: the holistic approach speaks
+	// before reading the table; optimal scans and scores everything first.
+	cfg.Clock = voice.RealClock{}
+	cfg.MaxRoundsPerSentence = 50
+	cfg.MinRounds = 10
+	hOut, err := NewHolistic(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("holistic: %v", err)
+	}
+	oOut, err := NewOptimal(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("optimal: %v", err)
+	}
+	if hOut.Latency >= oOut.Latency {
+		t.Errorf("holistic latency %v should beat optimal %v", hOut.Latency, oOut.Latency)
+	}
+}
+
+func TestOptimalMaximizesQuality(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 54)
+	cfg := testConfig(3)
+	oOut, err := NewOptimal(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("optimal: %v", err)
+	}
+	if oOut.SpeechesScored == 0 {
+		t.Error("optimal should score the plan space")
+	}
+	oQ, err := ExactQuality(d, q, oOut, cfg)
+	if err != nil {
+		t.Fatalf("ExactQuality: %v", err)
+	}
+	// No other vocalizer may beat the optimal quality.
+	hOut, err := NewHolistic(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("holistic: %v", err)
+	}
+	hQ, err := ExactQuality(d, q, hOut, cfg)
+	if err != nil {
+		t.Fatalf("ExactQuality: %v", err)
+	}
+	if hQ > oQ+1e-9 {
+		t.Errorf("holistic quality %v exceeds optimal %v", hQ, oQ)
+	}
+	if oQ <= 0 {
+		t.Errorf("optimal quality = %v, want positive", oQ)
+	}
+}
+
+func TestHolisticQualityNearOptimal(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 55)
+	cfg := testConfig(4)
+	oOut, err := NewOptimal(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("optimal: %v", err)
+	}
+	oQ, _ := ExactQuality(d, q, oOut, cfg)
+	hOut, err := NewHolistic(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("holistic: %v", err)
+	}
+	hQ, _ := ExactQuality(d, q, hOut, cfg)
+	if hQ < 0.5*oQ {
+		t.Errorf("holistic quality %v too far below optimal %v", hQ, oQ)
+	}
+}
+
+func TestUnmergedUnderperformsHolistic(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 56)
+	cfg := testConfig(5)
+	// The unmerged budget admits 500 rounds at 1 ms; holistic gets that
+	// per sentence. Use several seeds and compare average quality.
+	var hSum, uSum float64
+	for seed := int64(0); seed < 3; seed++ {
+		c := cfg
+		c.Seed = seed
+		hOut, err := NewHolistic(d, q, c).Vocalize()
+		if err != nil {
+			t.Fatalf("holistic: %v", err)
+		}
+		hQ, _ := ExactQuality(d, q, hOut, c)
+		hSum += hQ
+
+		// Starve the unmerged baseline the way the paper does: the fixed
+		// budget is a fraction of what pipelining provides.
+		c.Budget = 20 * time.Millisecond
+		uOut, err := NewUnmerged(d, q, c).Vocalize()
+		if err != nil {
+			t.Fatalf("unmerged: %v", err)
+		}
+		uQ, _ := ExactQuality(d, q, uOut, c)
+		uSum += uQ
+	}
+	if uSum >= hSum {
+		t.Errorf("unmerged total quality %v should trail holistic %v", uSum, hSum)
+	}
+}
+
+func TestUnmergedSpeaksOnce(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 57)
+	out, err := NewUnmerged(d, q, testConfig(6)).Vocalize()
+	if err != nil {
+		t.Fatalf("unmerged: %v", err)
+	}
+	if len(out.Transcript) != 1 {
+		t.Errorf("unmerged should speak the whole answer at once, got %d utterances", len(out.Transcript))
+	}
+	if out.Speech.Baseline == nil {
+		t.Error("unmerged should commit to a baseline")
+	}
+	if out.Latency < 0 {
+		t.Error("negative latency")
+	}
+}
+
+func TestUnmergedFallbackWithoutSamples(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 58)
+	cfg := testConfig(7)
+	cfg.Budget = time.Nanosecond // no planning rounds fit
+	cfg.InitialRows = 1
+	out, err := NewUnmerged(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("unmerged: %v", err)
+	}
+	if out.Speech.Baseline == nil {
+		t.Error("fallback should still speak a baseline")
+	}
+}
+
+func TestHolisticWithFilterQuery(t *testing.T) {
+	d, _ := flightsQuery(t, 20000, 59)
+	airport := d.HierarchyByName("start airport")
+	ne := airport.FindMember("the North East")
+	q := olap.Query{
+		Fct: olap.Avg, Col: "cancelled",
+		ColDescription: "average cancellation probability",
+		Filters:        []*dimension.Member{ne},
+		GroupBy: []olap.GroupBy{
+			{Hierarchy: d.HierarchyByName("flight date"), Level: 1},
+			{Hierarchy: d.HierarchyByName("airline"), Level: 1},
+		},
+	}
+	out, err := NewHolistic(d, q, testConfig(10)).Vocalize()
+	if err != nil {
+		t.Fatalf("holistic with filter: %v", err)
+	}
+	if !strings.Contains(out.Text(), "flights starting from the North East") {
+		t.Errorf("preamble should mention the filter:\n%s", out.Text())
+	}
+	// No refinement may reference an airport outside the filter.
+	for _, r := range out.Speech.Refinements {
+		for _, p := range r.Preds {
+			if p.Hierarchy() == airport && !p.IsDescendantOf(ne) {
+				t.Errorf("refinement predicate %v escapes the filter scope", p)
+			}
+		}
+	}
+}
+
+func TestHolisticCountQuery(t *testing.T) {
+	d, _ := flightsQuery(t, 20000, 60)
+	q := olap.Query{
+		Fct:            olap.Count,
+		ColDescription: "number of flights",
+		GroupBy: []olap.GroupBy{
+			{Hierarchy: d.HierarchyByName("start airport"), Level: 1},
+		},
+	}
+	cfg := testConfig(8)
+	cfg.Format = speech.PlainFormat
+	out, err := NewHolistic(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("holistic count: %v", err)
+	}
+	if out.Speech.Baseline == nil {
+		t.Fatal("count query should produce a baseline")
+	}
+	if out.Speech.Baseline.Value <= 0 {
+		t.Errorf("count baseline = %v, want positive", out.Speech.Baseline.Value)
+	}
+}
+
+func TestExactQualityOfTruthfulSpeechBeatsWrong(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 61)
+	cfg := testConfig(9)
+	out, err := NewOptimal(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("optimal: %v", err)
+	}
+	qual, err := ExactQuality(d, q, out, cfg)
+	if err != nil {
+		t.Fatalf("ExactQuality: %v", err)
+	}
+	// Replace the baseline with a wildly wrong value.
+	wrong := out.Speech.Clone()
+	wrongBaseline := *out.Speech.Baseline
+	wrongBaseline.Value *= 100
+	wrong.Baseline = &wrongBaseline
+	wrongOut := &Output{Speech: wrong}
+	wrongQ, err := ExactQuality(d, q, wrongOut, cfg)
+	if err != nil {
+		t.Fatalf("ExactQuality: %v", err)
+	}
+	if wrongQ >= qual {
+		t.Errorf("wrong baseline quality %v should trail optimal %v", wrongQ, qual)
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	cfg := Config{}.Normalize()
+	if cfg.Prefs.MaxChars != 300 || cfg.SpeakingRate != voice.DefaultCharsPerSecond {
+		t.Error("defaults not applied")
+	}
+	if cfg.Budget != InteractivityThreshold {
+		t.Error("default budget should be the interactivity threshold")
+	}
+	if cfg.Confidence != 0.95 || cfg.WarnRelativeWidth != 0.5 {
+		t.Error("uncertainty defaults not applied")
+	}
+	if _, ok := cfg.Clock.(voice.RealClock); !ok {
+		t.Error("default clock should be real")
+	}
+	if math.Abs(float64(cfg.SimRoundCost)-float64(time.Millisecond)) > 0 {
+		t.Error("default sim round cost wrong")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/olap"
+	"repro/internal/speech"
+)
+
+// Optimal is the quality-ceiling baseline: it evaluates the query exactly
+// with a full table scan, then scores every candidate speech in the search
+// space with the exact quality metric (Definition 2.2) before any voice
+// output starts. Neither the data nor the plan space is sampled, so its
+// latency grows with both — far past the interactivity threshold on large
+// data, which is precisely the paper's Figure 3 finding.
+type Optimal struct {
+	dataset *olap.Dataset
+	query   olap.Query
+	cfg     Config
+}
+
+// NewOptimal returns an optimal vocalizer for the query.
+func NewOptimal(d *olap.Dataset, q olap.Query, cfg Config) *Optimal {
+	return &Optimal{dataset: d, query: q, cfg: cfg.Normalize()}
+}
+
+// Name identifies the approach in experiment output.
+func (o *Optimal) Name() string { return "optimal" }
+
+// Vocalize exhaustively searches the speech space against the exact query
+// result and then speaks the best speech in one piece.
+func (o *Optimal) Vocalize() (*Output, error) {
+	s, err := newSession(o.dataset, o.query, o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.cfg
+	start := cfg.Clock.Now()
+
+	// Exact query evaluation: the full scan the holistic approach avoids.
+	result, err := olap.EvaluateSpace(s.space)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	scale := result.GrandValue()
+	if err := s.buildModel(scale); err != nil {
+		return nil, err
+	}
+
+	preamble := s.gen.NewPreamble()
+	best, scored := o.searchBest(s, result, scale, preamble)
+
+	s.speaker.Start(best.Text())
+	latency := cfg.Clock.Now().Sub(start)
+
+	return &Output{
+		Speech:         best,
+		Latency:        latency,
+		PlanningTime:   latency,
+		SpeechesScored: scored,
+		Transcript:     s.speaker.Transcript(),
+	}, nil
+}
+
+// searchBest exhaustively enumerates every valid speech (all baselines,
+// all refinement chains up to the limits — including shorter prefixes,
+// since an extra refinement can hurt quality) and returns the maximizer of
+// exact quality.
+func (o *Optimal) searchBest(s *session, result *olap.Result, scale float64, preamble *speech.Preamble) (*speech.Speech, int64) {
+	var best *speech.Speech
+	bestQ := -1.0
+	var scored int64
+
+	var extend func(sp *speech.Speech)
+	extend = func(sp *speech.Speech) {
+		q := s.model.Quality(sp, result)
+		scored++
+		if q > bestQ {
+			bestQ = q
+			best = sp
+		}
+		if len(sp.Refinements) >= s.cfg.Prefs.MaxFragments {
+			return
+		}
+		for _, r := range s.gen.Refinements(sp.Refinements) {
+			ext := sp.Extend(r)
+			if ext.Valid(s.cfg.Prefs) {
+				extend(ext)
+			}
+		}
+	}
+	for _, b := range s.gen.BaselineCandidates(speech.SpeechScale(scale)) {
+		sp := &speech.Speech{Preamble: preamble, Baseline: b}
+		extend(sp)
+	}
+	if best == nil {
+		best = &speech.Speech{Preamble: preamble}
+	}
+	return best, scored
+}

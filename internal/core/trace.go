@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Trace records the holistic planner's decisions for observability: how
+// many rows and tree samples each sentence's planning window saw, which
+// candidates were leading when the sentence was committed, and the
+// playback overlap achieved. Attach one via Config.Trace.
+type Trace struct {
+	// Sentences holds one record per committed sentence, in order.
+	Sentences []SentenceTrace
+	// TreeNodes is the search tree size after construction.
+	TreeNodes int
+	// ScaleEstimate is the grand estimate that seeded the baselines.
+	ScaleEstimate float64
+}
+
+// SentenceTrace describes the planning window behind one sentence.
+type SentenceTrace struct {
+	// Sentence is the committed text.
+	Sentence string
+	// Rounds is the number of planning rounds in the window.
+	Rounds int
+	// RowsRead is the number of table rows consumed in the window.
+	RowsRead int64
+	// TreeSamples is the number of successful MCTS rounds in the window.
+	TreeSamples int64
+	// BestMeanReward is the committed child's mean sampled reward.
+	BestMeanReward float64
+	// BestVisits is the committed child's visit count.
+	BestVisits int64
+	// RunnerUp is the second-best candidate's last sentence (empty when
+	// there was no competition).
+	RunnerUp string
+	// RunnerUpReward is the runner-up's mean reward.
+	RunnerUpReward float64
+	// PlanningTime is the simulated/wall time the window spanned.
+	PlanningTime time.Duration
+}
+
+// Summary renders the trace as a human-readable report.
+func (t *Trace) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "search tree: %d nodes, scale estimate %g\n", t.TreeNodes, t.ScaleEstimate)
+	for i, s := range t.Sentences {
+		fmt.Fprintf(&b, "sentence %d: %q\n", i+1, s.Sentence)
+		fmt.Fprintf(&b, "  window: %d rounds, %d rows, %d tree samples, %v\n",
+			s.Rounds, s.RowsRead, s.TreeSamples, s.PlanningTime)
+		fmt.Fprintf(&b, "  committed at reward %.3f over %d visits", s.BestMeanReward, s.BestVisits)
+		if s.RunnerUp != "" {
+			fmt.Fprintf(&b, " (runner-up %.3f: %q)", s.RunnerUpReward, s.RunnerUp)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteTo writes the summary to w, implementing io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, t.Summary())
+	return int64(n), err
+}

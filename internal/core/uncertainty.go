@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/speech"
+	"repro/internal/stats"
+)
+
+// UncertaintyMode selects the Section 4.4 extension for transmitting
+// confidence information.
+type UncertaintyMode int
+
+// Uncertainty modes.
+const (
+	// UncertaintyOff speaks values without confidence information.
+	UncertaintyOff UncertaintyMode = iota
+	// UncertaintyWarn appends a general warning when confidence in the
+	// spoken values is below a threshold.
+	UncertaintyWarn
+	// UncertaintyBounds speaks the confidence bounds where voice rendering
+	// for the corresponding sentence starts.
+	UncertaintyBounds
+)
+
+// String implements fmt.Stringer.
+func (m UncertaintyMode) String() string {
+	switch m {
+	case UncertaintyOff:
+		return "off"
+	case UncertaintyWarn:
+		return "warn"
+	case UncertaintyBounds:
+		return "bounds"
+	default:
+		return fmt.Sprintf("UncertaintyMode(%d)", int(m))
+	}
+}
+
+// uncertaintyWarning is the general low-confidence warning sentence.
+const uncertaintyWarning = "Please note that confidence in the spoken values is still low."
+
+// scopeAggs lists the aggregate indices a sentence speaks about: all
+// aggregates for the baseline (nil refinement), the refinement's scope
+// otherwise.
+func (s *session) scopeAggs(r *speech.Refinement) []int {
+	var out []int
+	for a := 0; a < s.space.Size(); a++ {
+		if r == nil || s.space.InScope(a, r.Preds) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// pooledInterval returns the pooled confidence bound from whichever sample
+// source the session runs on.
+func (s *session) pooledInterval(aggs []int, confidence float64) (stats.Interval, bool) {
+	if s.async != nil {
+		return s.async.PooledConfidenceInterval(aggs, confidence)
+	}
+	return s.sampler.Cache().PooledConfidenceInterval(aggs, confidence)
+}
+
+// inScopeRows returns the cached in-scope row count of the active source.
+func (s *session) inScopeRows() int64 {
+	if s.async != nil {
+		return s.async.NrInScope()
+	}
+	return s.sampler.Cache().NrInScope()
+}
+
+// boundsSentence renders the confidence bounds for the scope of a sentence,
+// e.g. "Between one percent and three percent with 95 percent confidence.".
+func (s *session) boundsSentence(r *speech.Refinement) (string, bool) {
+	iv, ok := s.pooledInterval(s.scopeAggs(r), s.cfg.Confidence)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("Between %s and %s with %d percent confidence.",
+		speech.FormatValue(iv.Lo, s.cfg.Format),
+		speech.FormatValue(iv.Hi, s.cfg.Format),
+		int(s.cfg.Confidence*100+0.5)), true
+}
+
+// minConfidentSample is the minimum in-scope sample size below which the
+// warning always fires: a handful of rows can produce a degenerate
+// zero-width interval (e.g. all-zero cancellation flags) that a CLT bound
+// mistakes for certainty.
+const minConfidentSample = 30
+
+// lowConfidence reports whether the grand-scope confidence interval is
+// wide relative to its center, triggering the warning mode.
+func (s *session) lowConfidence() bool {
+	if s.inScopeRows() < minConfidentSample {
+		return true
+	}
+	iv, ok := s.pooledInterval(s.scopeAggs(nil), s.cfg.Confidence)
+	if !ok {
+		return true
+	}
+	center := iv.Center()
+	if center == 0 {
+		return iv.Width() > 0
+	}
+	rel := iv.Width() / center
+	if rel < 0 {
+		rel = -rel
+	}
+	return rel > s.cfg.WarnRelativeWidth
+}

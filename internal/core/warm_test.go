@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/olap"
+	"repro/internal/sampling"
+)
+
+func buildView(t *testing.T, d *olap.Dataset, q olap.Query, reservoir int) *sampling.View {
+	t.Helper()
+	space, err := olap.NewSpace(d, q)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	view, err := sampling.BuildView(space, reservoir, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatalf("BuildView: %v", err)
+	}
+	return view
+}
+
+func TestWarmVocalizeFromView(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 81)
+	view := buildView(t, d, q, 128)
+	cfg := testConfig(20)
+	out, err := NewWarm(d, view, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if out.Speech.Baseline == nil {
+		t.Fatal("warm vocalizer should commit a baseline")
+	}
+	if out.RowsRead != 0 {
+		t.Errorf("warm start should read no rows, got %d", out.RowsRead)
+	}
+	if out.TreeSamples == 0 {
+		t.Error("warm start should sample the tree")
+	}
+	quality, err := ExactQuality(d, q, out, cfg)
+	if err != nil {
+		t.Fatalf("ExactQuality: %v", err)
+	}
+	if quality <= 0 {
+		t.Errorf("quality = %v", quality)
+	}
+}
+
+func TestWarmQualityComparableToHolistic(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 82)
+	view := buildView(t, d, q, 256)
+	cfg := testConfig(21)
+	warmOut, err := NewWarm(d, view, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	holOut, err := NewHolistic(d, q, cfg).Vocalize()
+	if err != nil {
+		t.Fatalf("holistic: %v", err)
+	}
+	warmQ, _ := ExactQuality(d, q, warmOut, cfg)
+	holQ, _ := ExactQuality(d, q, holOut, cfg)
+	if warmQ < 0.5*holQ {
+		t.Errorf("warm quality %v too far below holistic %v", warmQ, holQ)
+	}
+}
+
+func TestWarmRejectsBadConfigurations(t *testing.T) {
+	d, q := flightsQuery(t, 5000, 83)
+	view := buildView(t, d, q, 16)
+
+	w := NewWarm(d, nil, testConfig(22))
+	if _, err := w.Vocalize(); err == nil {
+		t.Error("nil view should fail")
+	}
+
+	cfg := testConfig(23)
+	cfg.Uncertainty = UncertaintyBounds
+	if _, err := NewWarm(d, view, cfg).Vocalize(); err == nil {
+		t.Error("uncertainty modes should be rejected")
+	}
+
+	other, _ := flightsQuery(t, 5000, 84)
+	if _, err := NewWarm(other, view, testConfig(24)).Vocalize(); err == nil {
+		t.Error("foreign dataset should be rejected")
+	}
+}
+
+func TestWarmQueryAccessor(t *testing.T) {
+	d, q := flightsQuery(t, 5000, 85)
+	view := buildView(t, d, q, 16)
+	w := NewWarm(d, view, testConfig(25))
+	if got := w.Query(); len(got.GroupBy) != len(q.GroupBy) {
+		t.Error("Query should mirror the view's query")
+	}
+	if w.Name() != "warm" {
+		t.Error("name wrong")
+	}
+}

@@ -1,0 +1,197 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+)
+
+func TestFlightsGeneration(t *testing.T) {
+	d, err := Flights(FlightsConfig{Rows: 50000, Seed: 1})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	if d.Table().NumRows() != 50000 {
+		t.Fatalf("rows = %d", d.Table().NumRows())
+	}
+	if len(d.Hierarchies()) != 3 {
+		t.Fatalf("hierarchies = %d, want 3", len(d.Hierarchies()))
+	}
+	airport := d.HierarchyByName("start airport")
+	if airport == nil || airport.Depth() != 4 {
+		t.Fatal("start airport hierarchy missing or wrong depth")
+	}
+	if len(airport.MembersAt(1)) != 5 {
+		t.Errorf("regions = %d, want 5", len(airport.MembersAt(1)))
+	}
+	date := d.HierarchyByName("flight date")
+	if len(date.MembersAt(1)) != 4 || len(date.MembersAt(2)) != 12 {
+		t.Error("date hierarchy should have 4 seasons and 12 months")
+	}
+	airline := d.HierarchyByName("airline")
+	if len(airline.MembersAt(1)) != 14 {
+		t.Errorf("airlines = %d, want 14", len(airline.MembersAt(1)))
+	}
+}
+
+func TestFlightsDefaultRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-size generation in short mode")
+	}
+	d, err := Flights(FlightsConfig{Seed: 1})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	if d.Table().NumRows() != DefaultFlightRows {
+		t.Errorf("rows = %d, want %d", d.Table().NumRows(), DefaultFlightRows)
+	}
+}
+
+func TestFlightsDeterministic(t *testing.T) {
+	a, _ := Flights(FlightsConfig{Rows: 1000, Seed: 7})
+	b, _ := Flights(FlightsConfig{Rows: 1000, Seed: 7})
+	ca, _ := a.Measure("cancelled")
+	cb, _ := b.Measure("cancelled")
+	for i := 0; i < 1000; i++ {
+		if ca.Float(i) != cb.Float(i) {
+			t.Fatal("same seed should generate identical data")
+		}
+	}
+	c, _ := Flights(FlightsConfig{Rows: 1000, Seed: 8})
+	cc, _ := c.Measure("cancelled")
+	same := true
+	for i := 0; i < 1000; i++ {
+		if ca.Float(i) != cc.Float(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+// TestFlightsPlantedEffects checks that exact evaluation of the synthetic
+// data approximates the Table 12 region-by-season probabilities.
+func TestFlightsPlantedEffects(t *testing.T) {
+	d, err := Flights(FlightsConfig{Rows: 120000, Seed: 3})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	airport := d.HierarchyByName("start airport")
+	date := d.HierarchyByName("flight date")
+	q := olap.Query{
+		Fct: olap.Avg, Col: "cancelled",
+		GroupBy: []olap.GroupBy{
+			{Hierarchy: airport, Level: 1},
+			{Hierarchy: date, Level: 1},
+		},
+	}
+	r, err := olap.Evaluate(d, q)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	s := r.Space()
+	for i := 0; i < s.Size(); i++ {
+		coords := s.Coordinates(i)
+		want := TableTwelve[coords[0].Name][coords[1].Name]
+		got := r.Value(i)
+		// With ~6000 rows per cell, allow a generous tolerance but require
+		// the same order of magnitude and rank structure.
+		if math.Abs(got-want) > want*0.5+0.004 {
+			t.Errorf("%s: got %.5f, planted %.5f", s.AggregateName(i), got, want)
+		}
+	}
+	// Winter in the NE must dominate everything else, as in Table 12.
+	ne := airport.FindMember("the North East")
+	winter := date.FindMember("Winter")
+	neWinter := s.IndexOf([]*dimension.Member{ne, winter})
+	if neWinter < 0 {
+		t.Fatal("NE/Winter aggregate not found")
+	}
+	top := r.Value(neWinter)
+	for i := 0; i < s.Size(); i++ {
+		if i != neWinter && r.Value(i) >= top {
+			t.Errorf("%s (%.5f) should be below NE/Winter (%.5f)",
+				s.AggregateName(i), r.Value(i), top)
+		}
+	}
+}
+
+func TestSalariesGeneration(t *testing.T) {
+	d, err := Salaries(SalariesConfig{Seed: 2})
+	if err != nil {
+		t.Fatalf("Salaries: %v", err)
+	}
+	if d.Table().NumRows() != DefaultSalaryRows {
+		t.Fatalf("rows = %d, want %d", d.Table().NumRows(), DefaultSalaryRows)
+	}
+	loc := d.HierarchyByName("college location")
+	if loc == nil || loc.Depth() != 3 {
+		t.Fatal("college location hierarchy wrong")
+	}
+	if len(loc.MembersAt(1)) != 4 {
+		t.Errorf("regions = %d, want 4", len(loc.MembersAt(1)))
+	}
+	start := d.HierarchyByName("start salary")
+	if len(start.MembersAt(1)) != 2 || len(start.MembersAt(2)) != 5 {
+		t.Error("start salary hierarchy wrong")
+	}
+}
+
+// TestSalariesPlantedEffects verifies the Northeast premium and the
+// start-salary gradient used by the paper's example speeches.
+func TestSalariesPlantedEffects(t *testing.T) {
+	d, err := Salaries(SalariesConfig{Rows: 3200, Seed: 5})
+	if err != nil {
+		t.Fatalf("Salaries: %v", err)
+	}
+	loc := d.HierarchyByName("college location")
+	q := olap.Query{
+		Fct: olap.Avg, Col: "midCareerSalary",
+		GroupBy: []olap.GroupBy{{Hierarchy: loc, Level: 1}},
+	}
+	r, err := olap.Evaluate(d, q)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	s := r.Space()
+	byName := map[string]float64{}
+	for i := 0; i < s.Size(); i++ {
+		byName[s.AggregateName(i)] = r.Value(i)
+	}
+	if byName["the Northeast"] <= byName["the South"] {
+		t.Errorf("Northeast (%v) should out-earn the South (%v)",
+			byName["the Northeast"], byName["the South"])
+	}
+
+	start := d.HierarchyByName("start salary")
+	q2 := olap.Query{
+		Fct: olap.Avg, Col: "midCareerSalary",
+		GroupBy: []olap.GroupBy{{Hierarchy: start, Level: 1}},
+	}
+	r2, err := olap.Evaluate(d, q2)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	s2 := r2.Space()
+	by2 := map[string]float64{}
+	for i := 0; i < s2.Size(); i++ {
+		by2[s2.AggregateName(i)] = r2.Value(i)
+	}
+	if by2["at least 50 K"] <= by2["less than 50 K"] {
+		t.Error("higher start salary should imply higher mid-career salary")
+	}
+}
+
+func TestSalariesRowOverride(t *testing.T) {
+	d, err := Salaries(SalariesConfig{Rows: 64, Seed: 1})
+	if err != nil {
+		t.Fatalf("Salaries: %v", err)
+	}
+	if d.Table().NumRows() != 64 {
+		t.Errorf("rows = %d, want 64", d.Table().NumRows())
+	}
+}

@@ -1,0 +1,258 @@
+// Package datagen generates the two synthetic benchmark datasets standing
+// in for the paper's Kaggle data: a flight-cancellation fact table with
+// three dimensions (start airport, flight date, airline) and a small
+// college-salary table with two dimensions (college location, start
+// salary). The region-by-season cancellation probabilities are planted to
+// match Table 12 of the paper, so exact query evaluation reproduces the
+// published full result; airline and airport multipliers add the finer
+// structure exercised by drill-down queries.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+	"repro/internal/table"
+)
+
+// FlightsConfig parameterizes the flight dataset.
+type FlightsConfig struct {
+	// Rows is the number of flight rows; the paper's dataset has 5.3
+	// million. Defaults to 200 000 when zero.
+	Rows int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultFlightRows is the row count used when FlightsConfig.Rows is zero,
+// chosen to keep test runtimes moderate while remaining large enough that
+// full scans are visibly slower than sampling.
+const DefaultFlightRows = 200000
+
+// PaperFlightRows is the row count of the paper's dataset.
+const PaperFlightRows = 5300000
+
+// airportSpec is one airport with its location path.
+type airportSpec struct {
+	region, state, city, code string
+	// factor multiplies the base cancellation probability; mean ~1 within
+	// each region so Table 12's region marginals are preserved.
+	factor float64
+}
+
+var airportCatalog = []airportSpec{
+	{"the North East", "New York", "New York City", "JFK", 1.15},
+	{"the North East", "New York", "New York City", "LGA", 1.25},
+	{"the North East", "New York", "Buffalo", "BUF", 0.9},
+	{"the North East", "Massachusetts", "Boston", "BOS", 1.35},
+	{"the North East", "Pennsylvania", "Philadelphia", "PHL", 0.75},
+	{"the North East", "New Jersey", "Newark", "EWR", 0.6},
+
+	{"the Midwest", "Illinois", "Chicago", "ORD", 1.3},
+	{"the Midwest", "Illinois", "Chicago", "MDW", 1.1},
+	{"the Midwest", "Michigan", "Detroit", "DTW", 0.9},
+	{"the Midwest", "Minnesota", "Minneapolis", "MSP", 0.7},
+	{"the Midwest", "Ohio", "Columbus", "CMH", 0.8},
+	{"the Midwest", "Iowa", "Des Moines", "DSM", 1.2},
+
+	{"the South", "Georgia", "Atlanta", "ATL", 1.0},
+	{"the South", "Texas", "Dallas", "DFW", 1.1},
+	{"the South", "Texas", "Houston", "IAH", 0.9},
+	{"the South", "Florida", "Orlando", "MCO", 1.35},
+	{"the South", "Florida", "Miami", "MIA", 0.65},
+	{"the South", "Arkansas", "Little Rock", "LIT", 1.25},
+	{"the South", "Tennessee", "Nashville", "BNA", 0.75},
+
+	{"the West", "California", "Los Angeles", "LAX", 1.05},
+	{"the West", "California", "San Francisco", "SFO", 1.25},
+	{"the West", "Washington", "Seattle", "SEA", 0.85},
+	{"the West", "Colorado", "Denver", "DEN", 1.1},
+	{"the West", "Nevada", "Las Vegas", "LAS", 0.75},
+
+	{"the United States territories", "Puerto Rico", "San Juan", "SJU", 1.1},
+	{"the United States territories", "Guam", "Hagatna", "GUM", 0.9},
+}
+
+// airlineSpec is one airline with its cancellation multiplier.
+type airlineSpec struct {
+	name   string
+	factor float64
+}
+
+var airlineCatalog = []airlineSpec{
+	{"American Airlines Inc.", 1.0},
+	{"Delta Air Lines Inc.", 0.7},
+	{"United Air Lines Inc.", 0.9},
+	{"Southwest Airlines Co.", 0.85},
+	{"Alaska Airlines Inc.", 1.3},
+	{"American Eagle Airlines Inc.", 1.6},
+	{"JetBlue Airways", 1.1},
+	{"Spirit Air Lines", 1.4},
+	{"Frontier Airlines Inc.", 1.15},
+	{"Hawaiian Airlines Inc.", 0.5},
+	{"Skywest Airlines Inc.", 1.2},
+	{"US Airways Inc.", 0.95},
+	{"Virgin America", 0.65},
+	{"Atlantic Southeast Airlines", 1.25},
+}
+
+// seasonMonths maps each season to its months. Month effects within a
+// season are mild and mean-one.
+var seasonMonths = map[string][]struct {
+	month  string
+	factor float64
+}{
+	"Winter": {{"December", 0.9}, {"January", 1.0}, {"February", 1.1}},
+	"Spring": {{"March", 1.05}, {"April", 1.0}, {"May", 0.95}},
+	"Summer": {{"June", 1.15}, {"July", 0.95}, {"August", 0.9}},
+	"Fall":   {{"September", 0.95}, {"October", 0.95}, {"November", 1.1}},
+}
+
+var seasonOrder = []string{"Winter", "Spring", "Summer", "Fall"}
+
+// TableTwelve is the planted region-by-season average cancellation
+// probability, copied from Table 12 of the paper.
+var TableTwelve = map[string]map[string]float64{
+	"the North East": {
+		"Winter": 0.0555, "Spring": 0.02296, "Summer": 0.01662, "Fall": 0.00794,
+	},
+	"the Midwest": {
+		"Winter": 0.03944, "Spring": 0.01576, "Summer": 0.018, "Fall": 0.01313,
+	},
+	"the South": {
+		"Winter": 0.02851, "Spring": 0.01656, "Summer": 0.01097, "Fall": 0.00537,
+	},
+	"the West": {
+		"Winter": 0.01562, "Spring": 0.00725, "Summer": 0.00927, "Fall": 0.0056,
+	},
+	"the United States territories": {
+		"Winter": 0.01424, "Spring": 0.0065, "Summer": 0.00741, "Fall": 0.00183,
+	},
+}
+
+// FlightHierarchies constructs the three flight dimensions (unbound).
+func FlightHierarchies() (airport, date, airline *dimension.Hierarchy) {
+	airport = dimension.MustNewHierarchy(
+		"start airport", "airport", "flights starting from", "any airport",
+		[]string{"region", "state", "city", "airport"})
+	for _, a := range airportCatalog {
+		airport.MustAddPath(a.region, a.state, a.city, a.code)
+	}
+	date = dimension.MustNewHierarchy(
+		"flight date", "month", "flights scheduled in", "any date",
+		[]string{"season", "month"})
+	for _, season := range seasonOrder {
+		for _, m := range seasonMonths[season] {
+			date.MustAddPath(season, m.month)
+		}
+	}
+	airline = dimension.MustNewHierarchy(
+		"airline", "airline", "flights operated by", "any airline",
+		[]string{"airline"})
+	for _, a := range airlineCatalog {
+		airline.MustAddPath(a.name)
+	}
+	return airport, date, airline
+}
+
+// normalizeFactors rescales per-row multiplicative factors so the expected
+// multiplier is exactly one under uniform selection.
+func normalizeFactors(fs []float64) []float64 {
+	var sum float64
+	for _, f := range fs {
+		sum += f
+	}
+	mean := sum / float64(len(fs))
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = f / mean
+	}
+	return out
+}
+
+// Flights generates the synthetic flight-cancellation dataset.
+func Flights(cfg FlightsConfig) (*olap.Dataset, error) {
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = DefaultFlightRows
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	airportH, dateH, airlineH := FlightHierarchies()
+
+	// Normalize airport factors within each region, airline factors
+	// globally, and month factors within each season so the Table 12
+	// marginals are preserved in expectation.
+	regionAirports := make(map[string][]int)
+	for i, a := range airportCatalog {
+		regionAirports[a.region] = append(regionAirports[a.region], i)
+	}
+	airportFactor := make([]float64, len(airportCatalog))
+	for _, idxs := range regionAirports {
+		raw := make([]float64, len(idxs))
+		for j, i := range idxs {
+			raw[j] = airportCatalog[i].factor
+		}
+		norm := normalizeFactors(raw)
+		for j, i := range idxs {
+			airportFactor[i] = norm[j]
+		}
+	}
+	rawAirline := make([]float64, len(airlineCatalog))
+	for i, a := range airlineCatalog {
+		rawAirline[i] = a.factor
+	}
+	airlineFactor := normalizeFactors(rawAirline)
+
+	type monthEntry struct {
+		season, month string
+		factor        float64
+	}
+	var months []monthEntry
+	for _, season := range seasonOrder {
+		raw := make([]float64, len(seasonMonths[season]))
+		for i, m := range seasonMonths[season] {
+			raw[i] = m.factor
+		}
+		norm := normalizeFactors(raw)
+		for i, m := range seasonMonths[season] {
+			months = append(months, monthEntry{season, m.month, norm[i]})
+		}
+	}
+
+	airportCol := table.NewStringColumn("airport")
+	monthCol := table.NewStringColumn("month")
+	airlineCol := table.NewStringColumn("airline")
+	cancelledCol := table.NewFloat64Column("cancelled")
+
+	for i := 0; i < rows; i++ {
+		a := rng.Intn(len(airportCatalog))
+		m := rng.Intn(len(months))
+		l := rng.Intn(len(airlineCatalog))
+		base := TableTwelve[airportCatalog[a].region][months[m].season]
+		p := base * airportFactor[a] * airlineFactor[l] * months[m].factor
+		if p > 0.95 {
+			p = 0.95
+		}
+		cancelled := 0.0
+		if rng.Float64() < p {
+			cancelled = 1.0
+		}
+		airportCol.Append(airportCatalog[a].code)
+		monthCol.Append(months[m].month)
+		airlineCol.Append(airlineCatalog[l].name)
+		cancelledCol.Append(cancelled)
+	}
+
+	tab, err := table.New("flights", airportCol, monthCol, airlineCol, cancelledCol)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	d, err := olap.NewDataset(tab, airportH, dateH, airlineH)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,130 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+	"repro/internal/table"
+)
+
+// SalariesConfig parameterizes the college-salary dataset.
+type SalariesConfig struct {
+	// Rows is the number of colleges; the paper's dataset has 320.
+	// Defaults to 320 when zero.
+	Rows int
+	// Seed drives the deterministic generator.
+	Seed int64
+}
+
+// DefaultSalaryRows matches the paper's dataset size.
+const DefaultSalaryRows = 320
+
+// salaryRegion describes one region with its states and mid-career salary
+// multiplier (the paper's running example: the North East pays about 5%
+// above average).
+type salaryRegion struct {
+	name   string
+	states []string
+	factor float64
+}
+
+var salaryRegions = []salaryRegion{
+	{"the Northeast", []string{"New York", "Massachusetts", "Pennsylvania", "Connecticut"}, 1.05},
+	{"the Midwest", []string{"Illinois", "Michigan", "Ohio", "Minnesota"}, 0.97},
+	{"the South", []string{"Texas", "Georgia", "Florida", "Virginia"}, 0.95},
+	{"the West", []string{"California", "Washington", "Colorado", "Oregon"}, 1.03},
+}
+
+// salaryBuckets are the precise start-salary buckets with their rough
+// grouping and the mid-career multiplier (higher start salary correlates
+// with higher mid-career salary: +20% for at-least-50 K in the paper's
+// example speech).
+type salaryBucket struct {
+	rough  string
+	name   string
+	factor float64
+}
+
+var salaryBuckets = []salaryBucket{
+	{"less than 50 K", "30 K", 0.82},
+	{"less than 50 K", "40 K", 0.92},
+	{"at least 50 K", "50 K", 1.05},
+	{"at least 50 K", "60 K", 1.12},
+	{"at least 50 K", "70 K", 1.22},
+}
+
+// salaryBase is the grand-average mid-career salary the multipliers
+// modulate; the paper's example speeches quote "90 K" and "80 K".
+const salaryBase = 85000.0
+
+// SalaryHierarchies constructs the two salary dimensions (unbound).
+// College names are generated as "<State> College <n>" so leaves stay
+// unique across states.
+func SalaryHierarchies(rows int) (location, start *dimension.Hierarchy, colleges []string, regionsOf map[string]int, statesOf map[string]string) {
+	if rows <= 0 {
+		rows = DefaultSalaryRows
+	}
+	location = dimension.MustNewHierarchy(
+		"college location", "college", "graduates from", "any college",
+		[]string{"region", "state", "college"})
+	start = dimension.MustNewHierarchy(
+		"start salary", "startSalary", "a start salary of", "any amount",
+		[]string{"rough start salary", "start salary"})
+	for _, b := range salaryBuckets {
+		start.MustAddPath(b.rough, b.name)
+	}
+	regionsOf = make(map[string]int)
+	statesOf = make(map[string]string)
+	for i := 0; i < rows; i++ {
+		r := i % len(salaryRegions)
+		region := salaryRegions[r]
+		state := region.states[(i/len(salaryRegions))%len(region.states)]
+		college := fmt.Sprintf("%s College %d", state, i/(len(salaryRegions)*len(region.states))+1)
+		location.MustAddPath(region.name, state, college)
+		colleges = append(colleges, college)
+		regionsOf[college] = r
+		statesOf[college] = state
+	}
+	return location, start, colleges, regionsOf, statesOf
+}
+
+// Salaries generates the synthetic college-salary dataset: one row per
+// college with its start-salary bucket and mid-career salary.
+func Salaries(cfg SalariesConfig) (*olap.Dataset, error) {
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = DefaultSalaryRows
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	location, start, colleges, regionsOf, _ := SalaryHierarchies(rows)
+
+	collegeCol := table.NewStringColumn("college")
+	startCol := table.NewStringColumn("startSalary")
+	midCol := table.NewFloat64Column("midCareerSalary")
+
+	for _, college := range colleges {
+		b := rng.Intn(len(salaryBuckets))
+		bucket := salaryBuckets[b]
+		region := salaryRegions[regionsOf[college]]
+		noise := 1 + 0.08*rng.NormFloat64()
+		if noise < 0.6 {
+			noise = 0.6
+		}
+		mid := salaryBase * region.factor * bucket.factor * noise
+		collegeCol.Append(college)
+		startCol.Append(bucket.name)
+		midCol.Append(mid)
+	}
+
+	tab, err := table.New("salaries", collegeCol, startCol, midCol)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	d, err := olap.NewDataset(tab, location, start)
+	if err != nil {
+		return nil, fmt.Errorf("datagen: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,116 @@
+package dimension
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const airportDefCSV = `region,state,city
+the North East,New York,New York City
+the North East,New York,Buffalo
+the North East,Massachusetts,Boston
+the Midwest,Illinois,Chicago
+the West,California,Los Angeles
+`
+
+func TestFromCSV(t *testing.T) {
+	h, err := FromCSV("start airport", "city", "flights starting from", "any airport",
+		strings.NewReader(airportDefCSV))
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	if h.Depth() != 3 {
+		t.Errorf("depth = %d, want 3", h.Depth())
+	}
+	if h.LevelName(1) != "region" || h.LevelName(3) != "city" {
+		t.Errorf("level names = %v", h.LevelNames)
+	}
+	if got := len(h.MembersAt(1)); got != 3 {
+		t.Errorf("regions = %d, want 3", got)
+	}
+	boston := h.Leaf("Boston")
+	if boston == nil || boston.AncestorAt(1).Name != "the North East" {
+		t.Error("Boston path broken")
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	// Empty input: no header.
+	if _, err := FromCSV("d", "c", "", "any", strings.NewReader("")); err == nil {
+		t.Error("empty definition should fail")
+	}
+	// Header only: no members.
+	if _, err := FromCSV("d", "c", "", "any", strings.NewReader("region,city\n")); err == nil {
+		t.Error("member-less definition should fail")
+	}
+	// Ragged row.
+	bad := "region,city\nNE\n"
+	if _, err := FromCSV("d", "c", "", "any", strings.NewReader(bad)); err == nil {
+		t.Error("ragged row should fail")
+	}
+	// Ambiguous leaf.
+	dup := "region,city\nNE,Boston\nMW,Boston\n"
+	if _, err := FromCSV("d", "c", "", "any", strings.NewReader(dup)); err == nil {
+		t.Error("duplicate leaf under two paths should fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	h, err := FromCSV("start airport", "city", "flights starting from", "any airport",
+		strings.NewReader(airportDefCSV))
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := h.ToCSV(&buf); err != nil {
+		t.Fatalf("ToCSV: %v", err)
+	}
+	back, err := FromCSV("start airport", "city", "flights starting from", "any airport", &buf)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.MembersAt(3)) != len(h.MembersAt(3)) {
+		t.Errorf("leaves = %d, want %d", len(back.MembersAt(3)), len(h.MembersAt(3)))
+	}
+	for _, leaf := range h.MembersAt(3) {
+		b := back.Leaf(leaf.Name)
+		if b == nil {
+			t.Errorf("leaf %q lost in round trip", leaf.Name)
+			continue
+		}
+		if b.AncestorAt(1).Name != leaf.AncestorAt(1).Name {
+			t.Errorf("leaf %q region changed", leaf.Name)
+		}
+	}
+}
+
+func TestFromCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "airport.csv")
+	h, err := FromCSV("start airport", "city", "", "any airport", strings.NewReader(airportDefCSV))
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	f, err := createFile(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := h.ToCSV(f); err != nil {
+		t.Fatalf("ToCSV: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	back, err := FromCSVFile("start airport", "city", "", "any airport", path)
+	if err != nil {
+		t.Fatalf("FromCSVFile: %v", err)
+	}
+	if back.Depth() != 3 {
+		t.Error("file round trip broken")
+	}
+	if _, err := FromCSVFile("x", "c", "", "any", filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,6 @@
+package dimension
+
+import "os"
+
+// createFile wraps os.Create for test readability.
+func createFile(path string) (*os.File, error) { return os.Create(path) }

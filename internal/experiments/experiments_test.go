@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSetup shares one small setup across the package tests.
+var sharedSetup *Setup
+
+func setup(t *testing.T) *Setup {
+	t.Helper()
+	if sharedSetup == nil {
+		s, err := NewSetup(60000, 1)
+		if err != nil {
+			t.Fatalf("NewSetup: %v", err)
+		}
+		sharedSetup = s
+	}
+	return sharedSetup
+}
+
+func TestFlightsQuerySpecs(t *testing.T) {
+	s := setup(t)
+	for _, spec := range Figure3Queries {
+		q, err := s.FlightsQuery(spec.Filter, spec.Dims)
+		if err != nil {
+			t.Errorf("spec %s,%s: %v", spec.Filter, spec.Dims, err)
+			continue
+		}
+		if err := s.Flights.ValidateQuery(q); err != nil {
+			t.Errorf("spec %s,%s invalid: %v", spec.Filter, spec.Dims, err)
+		}
+	}
+	if _, err := s.FlightsQuery("X", "R"); err == nil {
+		t.Error("unknown filter should fail")
+	}
+	if _, err := s.FlightsQuery("-", "Z"); err == nil {
+		t.Error("unknown dimension should fail")
+	}
+}
+
+// TestFigure3Shape asserts the published shape: optimal latency dominates
+// everything, holistic stays fastest to first output, and unmerged quality
+// trails the other two.
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 3 in short mode")
+	}
+	s := setup(t)
+	rows, err := Figure3(s)
+	if err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if len(rows) != len(Figure3Queries)*3 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Figure3Queries)*3)
+	}
+	sum := Summarize(rows)
+	if sum.MeanLatency["holistic"] >= sum.MeanLatency["optimal"] {
+		t.Errorf("holistic latency %v should beat optimal %v",
+			sum.MeanLatency["holistic"], sum.MeanLatency["optimal"])
+	}
+	if sum.MeanLatency["unmerged"] < 400*time.Millisecond {
+		t.Errorf("unmerged latency %v should sit at its 500 ms budget",
+			sum.MeanLatency["unmerged"])
+	}
+	if sum.MeanQuality["holistic"] < 0.6*sum.MeanQuality["optimal"] {
+		t.Errorf("holistic quality %v too far below optimal %v",
+			sum.MeanQuality["holistic"], sum.MeanQuality["optimal"])
+	}
+	var buf bytes.Buffer
+	PrintFigure3(&buf, rows)
+	if !strings.Contains(buf.String(), "Figure 3") {
+		t.Error("printout malformed")
+	}
+}
+
+func TestTable2AndPrint(t *testing.T) {
+	s := setup(t)
+	res := Table2(s)
+	var buf bytes.Buffer
+	PrintTable2(&buf, res)
+	PrintTable10(&buf, res)
+	out := buf.String()
+	for _, frag := range []string{"Table 2", "Symmetry", "Normal", "Table 10"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("printout missing %q", frag)
+		}
+	}
+}
+
+func TestTable5Speeches(t *testing.T) {
+	s := setup(t)
+	rows, err := Table5(s)
+	if err != nil {
+		t.Fatalf("Table5: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("approaches = %d, want 3", len(rows))
+	}
+	byName := map[string]SpeechComparison{}
+	for _, r := range rows {
+		byName[r.Approach] = r
+		if r.Speech == "" {
+			t.Errorf("%s produced empty speech", r.Approach)
+		}
+	}
+	// Table 5's quality ordering: optimal ≈ holistic >> unmerged.
+	if byName["holistic"].Quality < 0.5*byName["optimal"].Quality {
+		t.Errorf("holistic quality %v too far below optimal %v",
+			byName["holistic"].Quality, byName["optimal"].Quality)
+	}
+	if byName["unmerged"].Quality > byName["optimal"].Quality {
+		t.Errorf("starved unmerged %v should not beat optimal %v",
+			byName["unmerged"].Quality, byName["optimal"].Quality)
+	}
+	var buf bytes.Buffer
+	PrintSpeeches(&buf, "Table 5", rows)
+	if !strings.Contains(buf.String(), "cancellation probability") {
+		t.Error("printout missing speech text")
+	}
+}
+
+func TestTable6And14(t *testing.T) {
+	s := setup(t)
+	studies, err := Table6And14(s)
+	if err != nil {
+		t.Fatalf("Table6And14: %v", err)
+	}
+	if len(studies) != 3 {
+		t.Fatalf("studies = %d, want 3", len(studies))
+	}
+	byName := map[string]EstimationStudy{}
+	for _, st := range studies {
+		byName[st.Approach] = st
+		if len(st.Users) != 8 {
+			t.Errorf("%s users = %d, want 8", st.Approach, len(st.Users))
+		}
+	}
+	// Table 6 ordering: optimal and holistic beat unmerged on median error.
+	if byName["optimal"].MedianAbsError >= byName["unmerged"].MedianAbsError {
+		t.Errorf("optimal error %v should beat unmerged %v",
+			byName["optimal"].MedianAbsError, byName["unmerged"].MedianAbsError)
+	}
+	if byName["holistic"].MedianAbsError >= byName["unmerged"].MedianAbsError {
+		t.Errorf("holistic error %v should beat unmerged %v",
+			byName["holistic"].MedianAbsError, byName["unmerged"].MedianAbsError)
+	}
+	// Table 14: good speeches must order result fields better than chance.
+	// (The unmerged baseline's tendencies are luck-of-the-refinement — in
+	// the paper it landed at 54%, and a wrong-magnitude speech can still
+	// point the right way — so only the error ordering above is asserted
+	// across approaches.)
+	if byName["holistic"].TendencyAccuracy <= 0.5 {
+		t.Errorf("holistic tendencies %v should beat chance", byName["holistic"].TendencyAccuracy)
+	}
+	if byName["optimal"].TendencyAccuracy <= 0.5 {
+		t.Errorf("optimal tendencies %v should beat chance", byName["optimal"].TendencyAccuracy)
+	}
+	var buf bytes.Buffer
+	PrintTable6And14(&buf, studies)
+	if !strings.Contains(buf.String(), "Table 6") {
+		t.Error("printout malformed")
+	}
+}
+
+func TestTable7Facts(t *testing.T) {
+	s := setup(t)
+	facts, err := Table7(s)
+	if err != nil {
+		t.Fatalf("Table7: %v", err)
+	}
+	if len(facts) != 3 {
+		t.Fatalf("facts = %d", len(facts))
+	}
+	var buf bytes.Buffer
+	PrintTable7(&buf, facts)
+	if !strings.Contains(buf.String(), "Winter") {
+		t.Error("facts should mention the Winter effect")
+	}
+}
+
+func TestTable8And9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exploratory study in short mode")
+	}
+	s := setup(t)
+	studies, err := Table8And9(s, 4)
+	if err != nil {
+		t.Fatalf("Table8And9: %v", err)
+	}
+	if len(studies) != 2 {
+		t.Fatalf("studies = %d, want 2", len(studies))
+	}
+	for _, st := range studies {
+		if st.Result.Lengths.PriorAvg <= st.Result.Lengths.ThisAvg {
+			t.Errorf("%s: prior avg %d should exceed this avg %d",
+				st.Dataset, st.Result.Lengths.PriorAvg, st.Result.Lengths.ThisAvg)
+		}
+	}
+	// Table 9's flights blow-up: prior max dwarfs ours by an order of
+	// magnitude on the multi-dimensional dataset.
+	fl := studies[1].Result.Lengths
+	if fl.PriorMax < 5*fl.ThisMax {
+		t.Errorf("flights prior max %d should dwarf this max %d", fl.PriorMax, fl.ThisMax)
+	}
+	var buf bytes.Buffer
+	PrintTable8And9(&buf, studies)
+	if !strings.Contains(buf.String(), "Table 8") {
+		t.Error("printout malformed")
+	}
+}
+
+func TestTable11Stats(t *testing.T) {
+	s := setup(t)
+	stats := Table11(s)
+	if len(stats) != 2 {
+		t.Fatalf("stats = %d", len(stats))
+	}
+	if stats[0].Rows != 320 {
+		t.Errorf("salary rows = %d, want 320", stats[0].Rows)
+	}
+	if stats[1].Rows != 60000 {
+		t.Errorf("flight rows = %d", stats[1].Rows)
+	}
+	var buf bytes.Buffer
+	PrintTable11(&buf, stats)
+	if !strings.Contains(buf.String(), "Table 11") {
+		t.Error("printout malformed")
+	}
+}
+
+func TestTable12MatchesPlantedData(t *testing.T) {
+	s := setup(t)
+	rows, err := Table12(s)
+	if err != nil {
+		t.Fatalf("Table12: %v", err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("fields = %d, want 20", len(rows))
+	}
+	// Sorted descending; the top row must be NE/Winter as in the paper.
+	if rows[0].Region != "the North East" || rows[0].Season != "Winter" {
+		t.Errorf("top field = %s/%s, want the North East/Winter", rows[0].Region, rows[0].Season)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Cancellation > rows[i-1].Cancellation {
+			t.Fatal("rows not sorted descending")
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable12(&buf, rows)
+	if !strings.Contains(buf.String(), "Table 12") {
+		t.Error("printout malformed")
+	}
+}
+
+func TestTable13Speeches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 13 in short mode")
+	}
+	s := setup(t)
+	rows, err := Table13(s)
+	if err != nil {
+		t.Fatalf("Table13: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("approaches = %d", len(rows))
+	}
+}
+
+func TestPriorOnFlights(t *testing.T) {
+	s := setup(t)
+	cmp, err := PriorOnFlights(s)
+	if err != nil {
+		t.Fatalf("PriorOnFlights: %v", err)
+	}
+	if cmp.SpeechLen <= 300 {
+		t.Errorf("prior speech length %d should exceed our 300-char cap", cmp.SpeechLen)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations in short mode")
+	}
+	s := setup(t)
+
+	uct, err := AblationUCTVsUniform(s)
+	if err != nil {
+		t.Fatalf("UCT ablation: %v", err)
+	}
+	if len(uct) != 2 {
+		t.Fatal("UCT ablation should have two variants")
+	}
+
+	res, err := AblationResample(s)
+	if err != nil {
+		t.Fatalf("resample ablation: %v", err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("resample variants = %d", len(res))
+	}
+	// The running mean must beat the 10-sample resample on a 0/1 measure.
+	var runningQ, resample10Q float64
+	for _, r := range res {
+		switch r.Variant {
+		case "running-mean":
+			runningQ = r.Quality
+		case "resample-10":
+			resample10Q = r.Quality
+		}
+	}
+	if runningQ <= resample10Q {
+		t.Errorf("running-mean quality %v should beat resample-10 %v", runningQ, resample10Q)
+	}
+
+	rel, err := AblationRelativeVsAbsolute(s)
+	if err != nil {
+		t.Fatalf("relative ablation: %v", err)
+	}
+	if len(rel) != 2 {
+		t.Fatal("relative ablation should have two variants")
+	}
+
+	sig, err := AblationSigma(s)
+	if err != nil {
+		t.Fatalf("sigma ablation: %v", err)
+	}
+	if len(sig) != 4 {
+		t.Fatalf("sigma variants = %d", len(sig))
+	}
+
+	frag, err := AblationFragments(s)
+	if err != nil {
+		t.Fatalf("fragments ablation: %v", err)
+	}
+	if len(frag) != 3 {
+		t.Fatalf("fragment variants = %d", len(frag))
+	}
+
+	warm, err := AblationWarmStart(s)
+	if err != nil {
+		t.Fatalf("warm ablation: %v", err)
+	}
+	if len(warm) != 2 {
+		t.Fatalf("warm variants = %d", len(warm))
+	}
+	// The materialized view must be competitive with on-line sampling.
+	if warm[1].Quality < 0.5*warm[0].Quality {
+		t.Errorf("view quality %v too far below on-line %v", warm[1].Quality, warm[0].Quality)
+	}
+
+	var buf bytes.Buffer
+	PrintAblation(&buf, "UCT vs uniform", uct)
+	if !strings.Contains(buf.String(), "quality") {
+		t.Error("ablation printout malformed")
+	}
+}
+
+func TestMetricComparison(t *testing.T) {
+	s := setup(t)
+	rows, err := MetricComparison(s)
+	if err != nil {
+		t.Fatalf("MetricComparison: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]MetricRow{}
+	for _, r := range rows {
+		byName[r.Approach] = r
+	}
+	opt, unm := byName["optimal"], byName["unmerged"]
+	// Every metric must preserve the headline ordering.
+	if opt.Quality <= unm.Quality {
+		t.Error("quality ordering broken")
+	}
+	if opt.LogLoss <= unm.LogLoss {
+		t.Error("log-loss ordering broken")
+	}
+	if opt.ExpAbsError >= unm.ExpAbsError {
+		t.Error("expected-abs-error ordering broken")
+	}
+	if opt.CRPS >= unm.CRPS {
+		t.Error("CRPS ordering broken")
+	}
+	var buf bytes.Buffer
+	PrintMetricComparison(&buf, rows)
+	if !strings.Contains(buf.String(), "CRPS") {
+		t.Error("printout malformed")
+	}
+}
+
+func TestAblationPlanningBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("budget sweep in short mode")
+	}
+	s := setup(t)
+	rows, err := AblationPlanningBudget(s)
+	if err != nil {
+		t.Fatalf("AblationPlanningBudget: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("variants = %d", len(rows))
+	}
+	// The learning curve: the largest budget must beat the smallest.
+	if rows[len(rows)-1].Quality <= rows[0].Quality {
+		t.Errorf("5000 rounds (%v) should beat 10 rounds (%v)",
+			rows[len(rows)-1].Quality, rows[0].Quality)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling in short mode")
+	}
+	rows, err := Scaling(1, []int{20000, 1000000})
+	if err != nil {
+		t.Fatalf("Scaling: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Optimal latency grows with the table (a 50x size gap puts the scan
+	// term well above measurement noise); holistic stays immediate.
+	if rows[1].OptimalLatency <= rows[0].OptimalLatency {
+		t.Errorf("optimal latency should grow: %v then %v",
+			rows[0].OptimalLatency, rows[1].OptimalLatency)
+	}
+	for _, r := range rows {
+		if r.HolisticLatency >= r.OptimalLatency {
+			t.Errorf("%d rows: holistic %v should beat optimal %v",
+				r.Rows, r.HolisticLatency, r.OptimalLatency)
+		}
+	}
+	var buf bytes.Buffer
+	PrintScaling(&buf, rows)
+	if !strings.Contains(buf.String(), "Scaling") {
+		t.Error("printout malformed")
+	}
+}

@@ -1,0 +1,124 @@
+// Package ingest assembles OLAP datasets from user-provided CSV files: a
+// data table with a declared schema plus one hierarchy-definition file per
+// dimension. It backs cmd/voicequery's custom-data mode, turning the
+// reproduction into a tool usable on arbitrary tabular data.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+	"repro/internal/table"
+)
+
+// ParseSchema parses a compact schema declaration of the form
+// "city:string,month:string,cancelled:float" into a table schema.
+// Supported types: string, float, int.
+func ParseSchema(spec string) (table.Schema, error) {
+	var schema table.Schema
+	if strings.TrimSpace(spec) == "" {
+		return schema, errors.New("ingest: empty schema")
+	}
+	for _, field := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(field), ":", 2)
+		if len(parts) != 2 || parts[0] == "" {
+			return schema, fmt.Errorf("ingest: malformed schema field %q (want name:type)", field)
+		}
+		var t table.ColumnType
+		switch strings.ToLower(parts[1]) {
+		case "string", "str":
+			t = table.StringType
+		case "float", "float64", "number":
+			t = table.Float64Type
+		case "int", "int64":
+			t = table.Int64Type
+		default:
+			return schema, fmt.Errorf("ingest: unknown column type %q", parts[1])
+		}
+		schema.Names = append(schema.Names, parts[0])
+		schema.Types = append(schema.Types, t)
+	}
+	return schema, nil
+}
+
+// DimSpec declares one dimension: where its definition file lives and how
+// it binds and speaks.
+type DimSpec struct {
+	// Name is the dimension name ("start airport").
+	Name string
+	// Column is the data column holding finest-level values.
+	Column string
+	// Context is the phrase template ("flights starting from").
+	Context string
+	// Root is the root member's display name ("any airport").
+	Root string
+	// DefPath is the hierarchy definition CSV path.
+	DefPath string
+}
+
+// ParseDimSpec parses "name=start airport;column=city;context=flights
+// starting from;root=any airport;def=airport.csv". Name, column, and def
+// are required; context defaults to empty and root to "any <name>".
+func ParseDimSpec(spec string) (DimSpec, error) {
+	var d DimSpec
+	for _, kv := range strings.Split(spec, ";") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return d, fmt.Errorf("ingest: malformed dimension field %q (want key=value)", kv)
+		}
+		val := strings.TrimSpace(parts[1])
+		switch strings.ToLower(strings.TrimSpace(parts[0])) {
+		case "name":
+			d.Name = val
+		case "column", "col":
+			d.Column = val
+		case "context", "ctx":
+			d.Context = val
+		case "root":
+			d.Root = val
+		case "def", "file", "path":
+			d.DefPath = val
+		default:
+			return d, fmt.Errorf("ingest: unknown dimension key %q", parts[0])
+		}
+	}
+	if d.Name == "" || d.Column == "" || d.DefPath == "" {
+		return d, errors.New("ingest: dimension spec needs name=, column= and def=")
+	}
+	if d.Root == "" {
+		d.Root = "any " + d.Name
+	}
+	return d, nil
+}
+
+// Load reads the data CSV and the dimension definitions and binds them
+// into a dataset ready for vocalization.
+func Load(tableName, dataPath string, schema table.Schema, dims []DimSpec) (*olap.Dataset, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("ingest: at least one dimension required")
+	}
+	tab, err := table.ReadCSVFile(tableName, dataPath, schema)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	var hierarchies []*dimension.Hierarchy
+	for _, d := range dims {
+		h, err := dimension.FromCSVFile(d.Name, d.Column, d.Context, d.Root, d.DefPath)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: %w", err)
+		}
+		hierarchies = append(hierarchies, h)
+	}
+	ds, err := olap.NewDataset(tab, hierarchies...)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	return ds, nil
+}

@@ -1,0 +1,136 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/table"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := ParseSchema("city:string, month:str, cancelled:float, year:int")
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	if len(s.Names) != 4 {
+		t.Fatalf("fields = %d", len(s.Names))
+	}
+	want := []table.ColumnType{table.StringType, table.StringType, table.Float64Type, table.Int64Type}
+	for i, w := range want {
+		if s.Types[i] != w {
+			t.Errorf("field %d type = %v, want %v", i, s.Types[i], w)
+		}
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, spec := range []string{"", "city", "city:blob", ":string"} {
+		if _, err := ParseSchema(spec); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestParseDimSpec(t *testing.T) {
+	d, err := ParseDimSpec("name=start airport;column=city;context=flights starting from;root=any airport;def=airport.csv")
+	if err != nil {
+		t.Fatalf("ParseDimSpec: %v", err)
+	}
+	if d.Name != "start airport" || d.Column != "city" || d.DefPath != "airport.csv" {
+		t.Errorf("parsed = %+v", d)
+	}
+	if d.Context != "flights starting from" || d.Root != "any airport" {
+		t.Errorf("parsed = %+v", d)
+	}
+	// Defaulted root.
+	d, err = ParseDimSpec("name=date;col=month;def=date.csv")
+	if err != nil {
+		t.Fatalf("ParseDimSpec: %v", err)
+	}
+	if d.Root != "any date" {
+		t.Errorf("default root = %q", d.Root)
+	}
+}
+
+func TestParseDimSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "name=x", "name=x;column=c", "column=c;def=f.csv",
+		"name=x;column=c;def=f.csv;bogus=1", "name=x;column;def=f.csv",
+	} {
+		if _, err := ParseDimSpec(spec); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+}
+
+func TestLoadEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "data.csv")
+	defPath := filepath.Join(dir, "region.csv")
+	writeFile(t, dataPath, `city,sales
+Boston,10
+Chicago,20
+Boston,30
+`)
+	writeFile(t, defPath, `region,city
+East,Boston
+Midwest,Chicago
+`)
+	schema, err := ParseSchema("city:string,sales:float")
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	dim, err := ParseDimSpec("name=location;column=city;context=stores in;def=" + defPath)
+	if err != nil {
+		t.Fatalf("dim: %v", err)
+	}
+	ds, err := Load("sales", dataPath, schema, []DimSpec{dim})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if ds.Table().NumRows() != 3 {
+		t.Errorf("rows = %d", ds.Table().NumRows())
+	}
+	h := ds.HierarchyByName("location")
+	if h == nil || h.Depth() != 2 {
+		t.Fatal("hierarchy missing or wrong depth")
+	}
+	if _, err := ds.Measure("sales"); err != nil {
+		t.Errorf("measure: %v", err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	schema, _ := ParseSchema("city:string,sales:float")
+	dataPath := filepath.Join(dir, "data.csv")
+	writeFile(t, dataPath, "city,sales\nBoston,1\n")
+	// No dimensions.
+	if _, err := Load("t", dataPath, schema, nil); err == nil {
+		t.Error("no dimensions should fail")
+	}
+	// Missing data file.
+	dim := DimSpec{Name: "loc", Column: "city", DefPath: filepath.Join(dir, "def.csv")}
+	writeFile(t, dim.DefPath, "region,city\nEast,Boston\n")
+	if _, err := Load("t", filepath.Join(dir, "nope.csv"), schema, []DimSpec{dim}); err == nil {
+		t.Error("missing data file should fail")
+	}
+	// Missing definition file.
+	badDim := DimSpec{Name: "loc", Column: "city", DefPath: filepath.Join(dir, "nope.csv")}
+	if _, err := Load("t", dataPath, schema, []DimSpec{badDim}); err == nil {
+		t.Error("missing definition should fail")
+	}
+	// Data value absent from the hierarchy.
+	writeFile(t, dataPath, "city,sales\nGotham,1\n")
+	if _, err := Load("t", dataPath, schema, []DimSpec{dim}); err == nil {
+		t.Error("unknown value should fail binding")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}

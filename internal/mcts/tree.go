@@ -1,0 +1,329 @@
+// Package mcts implements the UCT search tree over speech candidates
+// (Algorithm 2 of the paper). Nodes represent partial speeches; sampling
+// descends from the root via the UCT formula, evaluates the reached leaf
+// speech against a database sample, and backs the reward up the path. In
+// line with the paper's unusual design choice, the tree is generated in a
+// pre-processing step (the fragment limit bounds its height), with a node
+// cap as a safety valve that switches to lazy expansion on first visit.
+//
+// Nodes store only the fragment they add — a baseline or one refinement —
+// and materialize their full speech on demand by walking to the root.
+// Cloning speeches per node would dominate tree-construction cost.
+package mcts
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/speech"
+)
+
+// EvalFunc scores a complete candidate speech against one database sample
+// (SpeechDBeval). ok is false when no sample-based evaluation is possible
+// yet (e.g. no aggregate has cached rows); such rounds update nothing.
+type EvalFunc func(s *speech.Speech) (reward float64, ok bool)
+
+// Node is a search tree node adding one fragment to its parent's speech.
+type Node struct {
+	// Parent is nil for the root.
+	Parent *Node
+	// Children are the valid one-fragment extensions.
+	Children []*Node
+	// Visits counts tree samples traversing this node.
+	Visits int64
+	// Reward accumulates sampled rewards over those visits.
+	Reward float64
+
+	// baseline is set on first-level nodes.
+	baseline *speech.Baseline
+	// ref is set on refinement nodes.
+	ref *speech.Refinement
+	// depth counts refinements on the path (0 for root and baselines).
+	depth int
+	// mainLen is the running MainText length for O(1) validity checks.
+	mainLen int
+
+	expanded bool
+	// speech memoizes the materialized speech once requested.
+	speech *speech.Speech
+}
+
+// IsLeaf reports whether the node has no children. Before expansion a node
+// is treated as a leaf only if it is terminal (no valid extensions).
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// MeanReward returns the node's average sampled reward (0 when unvisited).
+func (n *Node) MeanReward() float64 {
+	if n.Visits == 0 {
+		return 0
+	}
+	return n.Reward / float64(n.Visits)
+}
+
+// Refinement returns the refinement fragment this node adds (nil for the
+// root and baseline nodes).
+func (n *Node) Refinement() *speech.Refinement { return n.ref }
+
+// Tree is the speech search tree with its generator and evaluator.
+type Tree struct {
+	root     *Node
+	preamble *speech.Preamble
+	gen      *speech.Generator
+	eval     EvalFunc
+	rng      *rand.Rand
+	scale    float64
+	// MaxNodes caps eager pre-expansion; deeper nodes expand lazily on
+	// first visit.
+	MaxNodes int
+	// UniformPolicy replaces the UCT child selection with uniform random
+	// picks. It exists for the ablation benchmarks quantifying what the
+	// exploration/exploitation balance buys.
+	UniformPolicy bool
+	nodeCount     int
+}
+
+// DefaultMaxNodes bounds eager tree construction. The paper's queries stay
+// far below it; the cap protects against pathological member counts.
+const DefaultMaxNodes = 200000
+
+// NewTree builds the search tree for the generator's query. scale is the
+// value scale that seeds baseline candidates (an early grand estimate, or
+// the exact grand value for the optimal baseline). The tree is expanded
+// eagerly up to DefaultMaxNodes; use NewTreeWithCap to bound it tighter.
+func NewTree(gen *speech.Generator, scale float64, eval EvalFunc, rng *rand.Rand) (*Tree, error) {
+	return NewTreeWithCap(gen, scale, eval, rng, DefaultMaxNodes)
+}
+
+// NewTreeWithCap is NewTree with an explicit eager-expansion node cap
+// (maxNodes <= 0 selects DefaultMaxNodes). Nodes beyond the cap expand
+// lazily when sampling first reaches them.
+func NewTreeWithCap(gen *speech.Generator, scale float64, eval EvalFunc, rng *rand.Rand, maxNodes int) (*Tree, error) {
+	if gen == nil || eval == nil || rng == nil {
+		return nil, errors.New("mcts: generator, evaluator and rng are required")
+	}
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	t := &Tree{
+		root:     &Node{},
+		preamble: gen.NewPreamble(),
+		gen:      gen,
+		eval:     eval,
+		rng:      rng,
+		scale:    scale,
+		MaxNodes: maxNodes,
+	}
+	t.nodeCount = 1
+	t.expand(t.root)
+	return t, nil
+}
+
+// Root returns the current root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// NodeCount returns the number of allocated nodes.
+func (t *Tree) NodeCount() int { return t.nodeCount }
+
+// Speech materializes the speech represented by node n (which must belong
+// to this tree): the preamble, the path's baseline, and its refinements in
+// order. The result is memoized on the node.
+func (t *Tree) Speech(n *Node) *speech.Speech {
+	if n.speech != nil {
+		return n.speech
+	}
+	sp := &speech.Speech{Preamble: t.preamble}
+	if n.depth > 0 {
+		sp.Refinements = make([]*speech.Refinement, n.depth)
+	}
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.ref != nil {
+			sp.Refinements[cur.depth-1] = cur.ref
+		}
+		if cur.baseline != nil {
+			sp.Baseline = cur.baseline
+		}
+	}
+	n.speech = sp
+	return sp
+}
+
+// pathRefinements collects the refinements on the path to n (ordered).
+func (n *Node) pathRefinements() []*speech.Refinement {
+	if n.depth == 0 {
+		return nil
+	}
+	out := make([]*speech.Refinement, n.depth)
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.ref != nil {
+			out[cur.depth-1] = cur.ref
+		}
+	}
+	return out
+}
+
+// hasScopeOnPath reports whether any ancestor refinement shares r's scope.
+func (n *Node) hasScopeOnPath(r *speech.Refinement) bool {
+	for cur := n; cur != nil; cur = cur.Parent {
+		if cur.ref != nil && cur.ref.SameScope(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// expand generates the children of n (ST.EXPAND) and recurses while the
+// node budget lasts; past the budget, descendants expand lazily. Validity
+// (character and fragment limits, duplicate scopes) is checked with O(k)
+// incremental state instead of materializing candidate speeches.
+func (t *Tree) expand(n *Node) {
+	if n.expanded {
+		return
+	}
+	n.expanded = true
+	prefs := t.gen.Prefs
+	maxChars := prefs.MaxCharsEffective()
+	if n.baseline == nil && n.Parent == nil {
+		for _, b := range t.gen.BaselineCandidates(speech.SpeechScale(t.scale)) {
+			c := &Node{Parent: n, baseline: b, mainLen: len(b.Text())}
+			if maxChars > 0 && c.mainLen > maxChars {
+				continue
+			}
+			n.Children = append(n.Children, c)
+			t.nodeCount++
+		}
+	} else {
+		if prefs.MaxFragments > 0 && n.depth >= prefs.MaxFragments {
+			return
+		}
+		for _, r := range t.gen.Refinements(n.pathRefinements()) {
+			ln := n.mainLen + 1 + len(r.Text())
+			if maxChars > 0 && ln > maxChars {
+				continue
+			}
+			if n.hasScopeOnPath(r) {
+				continue
+			}
+			c := &Node{Parent: n, ref: r, depth: n.depth + 1, mainLen: ln}
+			n.Children = append(n.Children, c)
+			t.nodeCount++
+		}
+	}
+	if t.nodeCount >= t.MaxNodes {
+		return
+	}
+	for _, c := range n.Children {
+		t.expand(c)
+		if t.nodeCount >= t.MaxNodes {
+			return
+		}
+	}
+}
+
+// maxUCTChild returns the child to descend into (ST.MAXUCTCHILD):
+// unvisited children first (random pick), otherwise the maximizer of the
+// UCT upper confidence bound.
+func (t *Tree) maxUCTChild(n *Node) *Node {
+	if t.UniformPolicy {
+		return n.Children[t.rng.Intn(len(n.Children))]
+	}
+	var unvisited []*Node
+	for _, c := range n.Children {
+		if c.Visits == 0 {
+			unvisited = append(unvisited, c)
+		}
+	}
+	if len(unvisited) > 0 {
+		return unvisited[t.rng.Intn(len(unvisited))]
+	}
+	logN := math.Log(float64(n.Visits))
+	var best *Node
+	bestScore := math.Inf(-1)
+	for _, c := range n.Children {
+		score := c.MeanReward() + math.Sqrt(2*logN/float64(c.Visits))
+		if score > bestScore {
+			bestScore = score
+			best = c
+		}
+	}
+	return best
+}
+
+// Sample performs one MCTS round (Algorithm 2's SAMPLE): descend from the
+// current root to a leaf via UCT, evaluate the leaf's complete speech
+// against a database sample, and update statistics along the path. It
+// returns false when the evaluator could not produce a reward (nothing is
+// updated then).
+func (t *Tree) Sample() bool {
+	n := t.root
+	path := []*Node{n}
+	for {
+		if !n.expanded {
+			t.expand(n)
+		}
+		if n.IsLeaf() {
+			break
+		}
+		n = t.maxUCTChild(n)
+		path = append(path, n)
+	}
+	r, ok := t.eval(t.Speech(n))
+	if !ok {
+		return false
+	}
+	for _, p := range path {
+		p.Visits++
+		p.Reward += r
+	}
+	return true
+}
+
+// BestChild returns the child of the current root with the highest mean
+// reward (Algorithm 1's exploitation-only selection for committing to the
+// next sentence), or nil when the root is a leaf. Unvisited children rank
+// below any visited child; among equally unvisited children the first is
+// returned.
+func (t *Tree) BestChild() *Node {
+	var best *Node
+	bestScore := math.Inf(-1)
+	for _, c := range t.root.Children {
+		score := math.Inf(-1)
+		if c.Visits > 0 {
+			score = c.MeanReward()
+		}
+		if best == nil || score > bestScore {
+			best = c
+			bestScore = score
+		}
+	}
+	return best
+}
+
+// Advance makes child the new root, retaining its subtree statistics so
+// planning never restarts from scratch (the paper's root-reuse).
+// It panics if child is not a child of the current root.
+func (t *Tree) Advance(child *Node) {
+	for _, c := range t.root.Children {
+		if c == child {
+			t.root = child
+			return
+		}
+	}
+	panic("mcts: Advance target is not a child of the root")
+}
+
+// Depth returns the height of the tree below the current root (leaf speech
+// length in fragments relative to the root).
+func (t *Tree) Depth() int {
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		max := 0
+		for _, c := range n.Children {
+			if d := walk(c) + 1; d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	return walk(t.root)
+}

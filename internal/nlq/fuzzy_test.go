@@ -1,0 +1,88 @@
+package nlq
+
+import (
+	"testing"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b  string
+		bound int
+		want  int
+	}{
+		{"boston", "boston", 2, 0},
+		{"bostn", "boston", 2, 1},
+		{"chigago", "chicago", 2, 1},
+		{"kitten", "sitting", 3, 3},
+		{"abc", "xyz", 2, 3}, // exceeds bound -> bound+1
+		{"a", "abcdef", 2, 3},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b, c.bound); got != c.want {
+			t.Errorf("levenshtein(%q,%q,%d) = %d, want %d", c.a, c.b, c.bound, got, c.want)
+		}
+	}
+}
+
+func TestMaxEditDistance(t *testing.T) {
+	if maxEditDistance(3) != 0 || maxEditDistance(6) != 1 || maxEditDistance(12) != 2 {
+		t.Error("distance tiers wrong")
+	}
+}
+
+func TestFuzzyMatchSingleTypo(t *testing.T) {
+	s := newFlightsSession(t)
+	// "Bostn" is one edit from "Boston".
+	r, err := s.Parse("what about bostn")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !r.IsQuery {
+		t.Error("fuzzy match should trigger a query")
+	}
+	q := s.Query()
+	if len(q.Filters) != 1 || q.Filters[0].Name != "Boston" {
+		t.Errorf("filters = %v, want Boston", q.Filters)
+	}
+}
+
+func TestFuzzyMatchMultiWord(t *testing.T) {
+	s := newFlightsSession(t)
+	// "los angelos" is two edits from "los angeles".
+	if _, err := s.Parse("flights from los angelos"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	q := s.Query()
+	if len(q.Filters) != 1 || q.Filters[0].Name != "Los Angeles" {
+		t.Errorf("filters = %v, want Los Angeles", q.Filters)
+	}
+}
+
+func TestFuzzyPrefersExactMatch(t *testing.T) {
+	s := newFlightsSession(t)
+	// Exact "Chicago" must not be displaced by fuzzy candidates.
+	if _, err := s.Parse("show me Chicago"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	q := s.Query()
+	if len(q.Filters) != 1 || q.Filters[0].Name != "Chicago" {
+		t.Errorf("filters = %v, want Chicago", q.Filters)
+	}
+}
+
+func TestFuzzyShortNamesRequireExactness(t *testing.T) {
+	s := newFlightsSession(t)
+	// "BWS" is one edit from the airport code "BOS", but short names are
+	// exempt from fuzzy matching; gibberish must still be rejected.
+	if _, err := s.Parse("xq zz"); err == nil {
+		t.Error("short gibberish should not fuzzy-match anything")
+	}
+}
+
+func TestFuzzyGibberishStillFails(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("wonderful weather today"); err == nil {
+		q := s.Query()
+		t.Errorf("unrelated text matched something: %v", q.Filters)
+	}
+}

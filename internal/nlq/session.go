@@ -1,0 +1,423 @@
+// Package nlq implements the deliberately simple keyword-based input
+// interpreter of the paper's study interface: users drill down, roll up,
+// and add or remove dimensions in the OLAP result by mentioning related
+// keywords, and can ask for help to hear all available keywords. A Session
+// holds one user's exploration state and turns each utterance into the
+// next OLAP query.
+package nlq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+)
+
+// Session is one user's exploration state over a dataset.
+type Session struct {
+	dataset *olap.Dataset
+	fct     olap.AggFunc
+	col     string
+	colDesc string
+
+	levels  map[*dimension.Hierarchy]int
+	order   []*dimension.Hierarchy
+	filters map[*dimension.Hierarchy]*dimension.Member
+
+	// history holds snapshots for the "back" command, most recent last.
+	history []snapshot
+}
+
+// snapshot captures the mutable exploration state.
+type snapshot struct {
+	fct     olap.AggFunc
+	levels  map[*dimension.Hierarchy]int
+	order   []*dimension.Hierarchy
+	filters map[*dimension.Hierarchy]*dimension.Member
+}
+
+// maxHistory bounds the undo stack.
+const maxHistory = 64
+
+// capture snapshots the current state.
+func (s *Session) capture() snapshot {
+	snap := snapshot{
+		fct:     s.fct,
+		levels:  make(map[*dimension.Hierarchy]int, len(s.levels)),
+		order:   append([]*dimension.Hierarchy{}, s.order...),
+		filters: make(map[*dimension.Hierarchy]*dimension.Member, len(s.filters)),
+	}
+	for h, l := range s.levels {
+		snap.levels[h] = l
+	}
+	for h, m := range s.filters {
+		snap.filters[h] = m
+	}
+	return snap
+}
+
+// pushHistory records the current state before a mutation.
+func (s *Session) pushHistory() {
+	s.history = append(s.history, s.capture())
+	if len(s.history) > maxHistory {
+		s.history = s.history[len(s.history)-maxHistory:]
+	}
+}
+
+// popHistory restores the most recent snapshot; false if none exists.
+func (s *Session) popHistory() bool {
+	if len(s.history) == 0 {
+		return false
+	}
+	snap := s.history[len(s.history)-1]
+	s.history = s.history[:len(s.history)-1]
+	s.fct = snap.fct
+	s.levels = snap.levels
+	s.order = snap.order
+	s.filters = snap.filters
+	return true
+}
+
+// NewSession starts a session for the dataset's given measure. The initial
+// state groups by the first level of the first hierarchy, so the first
+// query is always valid.
+func NewSession(d *olap.Dataset, fct olap.AggFunc, col, colDesc string) (*Session, error) {
+	if len(d.Hierarchies()) == 0 {
+		return nil, errors.New("nlq: dataset has no dimensions")
+	}
+	s := &Session{
+		dataset: d,
+		fct:     fct,
+		col:     col,
+		colDesc: colDesc,
+		levels:  make(map[*dimension.Hierarchy]int),
+		filters: make(map[*dimension.Hierarchy]*dimension.Member),
+	}
+	first := d.Hierarchies()[0]
+	s.levels[first] = 1
+	s.order = []*dimension.Hierarchy{first}
+	return s, nil
+}
+
+// Query assembles the current OLAP query, reconciling filter and group
+// levels (a filter finer than the grouping level raises the level).
+func (s *Session) Query() olap.Query {
+	q := olap.Query{Fct: s.fct, Col: s.col, ColDescription: s.colDesc}
+	for _, h := range s.order {
+		level := s.levels[h]
+		if f, ok := s.filters[h]; ok && f.Level > level {
+			level = f.Level
+		}
+		q.GroupBy = append(q.GroupBy, olap.GroupBy{Hierarchy: h, Level: level})
+	}
+	for _, h := range s.dataset.Hierarchies() {
+		if f, ok := s.filters[h]; ok && !f.IsRoot() {
+			q.Filters = append(q.Filters, f)
+		}
+	}
+	return q
+}
+
+// Response reports how an utterance changed the session.
+type Response struct {
+	// Action names what happened ("drill down", "filter", "help", …).
+	Action string
+	// Message is spoken feedback (the help text, or a state summary).
+	Message string
+	// IsQuery is true when the new state should be vocalized.
+	IsQuery bool
+}
+
+// ErrNotUnderstood reports input without any recognized keyword.
+var ErrNotUnderstood = errors.New("nlq: input not understood; say help for available keywords")
+
+// Parse interprets one utterance and updates the session state.
+func (s *Session) Parse(input string) (Response, error) {
+	text := strings.ToLower(strings.TrimSpace(input))
+	if text == "" {
+		return Response{}, ErrNotUnderstood
+	}
+	if strings.Contains(text, "help") {
+		return Response{Action: "help", Message: s.HelpText()}, nil
+	}
+	if containsWord(text, "back") || containsWord(text, "undo") {
+		if !s.popHistory() {
+			return Response{}, errors.New("nlq: nothing to go back to")
+		}
+		return Response{Action: "back", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
+	}
+	if strings.Contains(text, "reset") {
+		s.pushHistory()
+		first := s.dataset.Hierarchies()[0]
+		s.levels = map[*dimension.Hierarchy]int{first: 1}
+		s.order = []*dimension.Hierarchy{first}
+		s.filters = make(map[*dimension.Hierarchy]*dimension.Member)
+		return Response{Action: "reset", Message: "Starting over. " + s.Summary(), IsQuery: true}, nil
+	}
+	// Aggregation-function switches: "how many"/"count" -> count,
+	// "total"/"sum" -> sum, "average"/"typical" -> average.
+	fctChanged := false
+	if fct, ok := matchAggFunc(text); ok && fct != s.fct {
+		s.pushHistory()
+		s.fct = fct
+		fctChanged = true
+	}
+
+	switch {
+	case strings.Contains(text, "drill"):
+		h := s.matchHierarchy(text)
+		if h == nil {
+			h = s.lastGrouped()
+		}
+		if h == nil {
+			return Response{}, fmt.Errorf("nlq: no dimension to drill into")
+		}
+		if !fctChanged {
+			s.pushHistory()
+		}
+		if s.levels[h] == 0 {
+			s.addDimension(h, 1)
+		} else if s.levels[h] < h.Depth() {
+			s.levels[h]++
+		}
+		return Response{Action: "drill down", Message: s.Summary(), IsQuery: true}, nil
+
+	case strings.Contains(text, "roll"):
+		h := s.matchHierarchy(text)
+		if h == nil {
+			h = s.lastGrouped()
+		}
+		if h == nil || s.levels[h] == 0 {
+			return Response{}, fmt.Errorf("nlq: no dimension to roll up")
+		}
+		if !fctChanged {
+			s.pushHistory()
+		}
+		if s.levels[h] > 1 {
+			s.levels[h]--
+		} else {
+			s.removeDimension(h)
+		}
+		return Response{Action: "roll up", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
+
+	case strings.Contains(text, "remove") || strings.Contains(text, "drop"):
+		h := s.matchHierarchy(text)
+		if h == nil || s.levels[h] == 0 {
+			return Response{}, fmt.Errorf("nlq: no matching dimension to remove")
+		}
+		if !fctChanged {
+			s.pushHistory()
+		}
+		s.removeDimension(h)
+		return Response{Action: "remove", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
+
+	case strings.Contains(text, "clear"):
+		if !fctChanged {
+			s.pushHistory()
+		}
+		s.filters = make(map[*dimension.Hierarchy]*dimension.Member)
+		return Response{Action: "clear filters", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
+	}
+
+	// Declarative: collect mentioned level names and member names.
+	var addDims []struct {
+		h     *dimension.Hierarchy
+		level int
+	}
+	for _, h := range s.dataset.Hierarchies() {
+		for level := 1; level <= h.Depth(); level++ {
+			if containsWord(text, strings.ToLower(h.LevelName(level))) {
+				addDims = append(addDims, struct {
+					h     *dimension.Hierarchy
+					level int
+				}{h, level})
+			}
+		}
+		if containsWord(text, strings.ToLower(h.Name)) && s.levels[h] == 0 {
+			addDims = append(addDims, struct {
+				h     *dimension.Hierarchy
+				level int
+			}{h, 1})
+		}
+	}
+	members := s.matchMembers(text)
+	if len(addDims) == 0 && len(members) == 0 {
+		// Tolerate speech-recognition typos before giving up.
+		members = s.fuzzyMatchMembers(text)
+	}
+	if len(addDims) == 0 && len(members) == 0 {
+		if fctChanged {
+			return Response{Action: "function", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
+		}
+		return Response{}, ErrNotUnderstood
+	}
+	if !fctChanged {
+		s.pushHistory()
+	}
+	for _, ad := range addDims {
+		s.addDimension(ad.h, ad.level)
+	}
+	for _, m := range members {
+		s.filters[m.Hierarchy()] = m
+	}
+	return Response{Action: "query", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
+}
+
+// matchAggFunc detects a requested aggregation function.
+func matchAggFunc(text string) (olap.AggFunc, bool) {
+	switch {
+	case strings.Contains(text, "how many") || containsWord(text, "count") || containsWord(text, "number"):
+		return olap.Count, true
+	case containsWord(text, "total") || containsWord(text, "sum"):
+		return olap.Sum, true
+	case containsWord(text, "average") || containsWord(text, "typical") || containsWord(text, "mean"):
+		return olap.Avg, true
+	default:
+		return 0, false
+	}
+}
+
+// addDimension groups by h at the given level (idempotent on order).
+func (s *Session) addDimension(h *dimension.Hierarchy, level int) {
+	if s.levels[h] == 0 {
+		s.order = append(s.order, h)
+	}
+	if level > h.Depth() {
+		level = h.Depth()
+	}
+	s.levels[h] = level
+}
+
+// removeDimension stops grouping by h.
+func (s *Session) removeDimension(h *dimension.Hierarchy) {
+	delete(s.levels, h)
+	for i, o := range s.order {
+		if o == h {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// lastGrouped returns the most recently added grouped hierarchy.
+func (s *Session) lastGrouped() *dimension.Hierarchy {
+	if len(s.order) == 0 {
+		return nil
+	}
+	return s.order[len(s.order)-1]
+}
+
+// anyGrouped reports whether at least one dimension is grouped.
+func (s *Session) anyGrouped() bool { return len(s.order) > 0 }
+
+// matchHierarchy finds a hierarchy mentioned by name or level name.
+func (s *Session) matchHierarchy(text string) *dimension.Hierarchy {
+	for _, h := range s.dataset.Hierarchies() {
+		if containsWord(text, strings.ToLower(h.Name)) {
+			return h
+		}
+		for level := 1; level <= h.Depth(); level++ {
+			if containsWord(text, strings.ToLower(h.LevelName(level))) {
+				return h
+			}
+		}
+	}
+	return nil
+}
+
+// matchMembers finds all members whose names appear in the text, keeping
+// only the most specific match per hierarchy.
+func (s *Session) matchMembers(text string) []*dimension.Member {
+	best := make(map[*dimension.Hierarchy]*dimension.Member)
+	for _, h := range s.dataset.Hierarchies() {
+		for level := 1; level <= h.Depth(); level++ {
+			for _, m := range h.MembersAt(level) {
+				if containsWord(text, strings.ToLower(m.Name)) {
+					if cur, ok := best[h]; !ok || m.Level > cur.Level {
+						best[h] = m
+					}
+				}
+			}
+		}
+	}
+	var out []*dimension.Member
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Hierarchy().Name < out[j].Hierarchy().Name
+	})
+	return out
+}
+
+// Summary describes the current state in one spoken sentence.
+func (s *Session) Summary() string {
+	if !s.anyGrouped() {
+		return "No dimensions selected."
+	}
+	var groups []string
+	for _, h := range s.order {
+		groups = append(groups, fmt.Sprintf("%s by %s", h.Name, h.LevelName(s.levels[h])))
+	}
+	msg := fmt.Sprintf("Reporting the %s. Breaking down %s.", s.fct, strings.Join(groups, " and "))
+	var filters []string
+	for _, h := range s.dataset.Hierarchies() {
+		if f, ok := s.filters[h]; ok {
+			filters = append(filters, h.Phrase(f))
+		}
+	}
+	if len(filters) > 0 {
+		msg += " Considering " + strings.Join(filters, " and ") + "."
+	}
+	return msg
+}
+
+// HelpText lists the available keywords, dimensions, and levels.
+func (s *Session) HelpText() string {
+	var b strings.Builder
+	b.WriteString("You can say: drill down, roll up, remove, clear, back, reset, or help. ")
+	b.WriteString("Say count, total, or average to change the aggregation. ")
+	b.WriteString("You can mention dimension levels to break results down, ")
+	b.WriteString("or member names to filter. Available dimensions: ")
+	var dims []string
+	for _, h := range s.dataset.Hierarchies() {
+		var levels []string
+		for level := 1; level <= h.Depth(); level++ {
+			levels = append(levels, h.LevelName(level))
+		}
+		dims = append(dims, fmt.Sprintf("%s with levels %s", h.Name, strings.Join(levels, ", ")))
+	}
+	b.WriteString(strings.Join(dims, "; "))
+	b.WriteString(".")
+	return b.String()
+}
+
+// containsWord reports whether needle occurs in haystack on rough word
+// boundaries, preventing "state" from matching "estate".
+func containsWord(haystack, needle string) bool {
+	if needle == "" {
+		return false
+	}
+	idx := 0
+	for {
+		i := strings.Index(haystack[idx:], needle)
+		if i < 0 {
+			return false
+		}
+		start := idx + i
+		end := start + len(needle)
+		beforeOK := start == 0 || !isWordChar(haystack[start-1])
+		afterOK := end == len(haystack) || !isWordChar(haystack[end])
+		if beforeOK && afterOK {
+			return true
+		}
+		idx = start + 1
+	}
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

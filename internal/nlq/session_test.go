@@ -1,0 +1,302 @@
+package nlq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/olap"
+)
+
+func newFlightsSession(t *testing.T) *Session {
+	t.Helper()
+	d, err := datagen.Flights(datagen.FlightsConfig{Rows: 2000, Seed: 91})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	s, err := NewSession(d, olap.Avg, "cancelled", "average cancellation probability")
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	return s
+}
+
+func TestNewSessionInitialQuery(t *testing.T) {
+	s := newFlightsSession(t)
+	q := s.Query()
+	if len(q.GroupBy) != 1 {
+		t.Fatalf("initial query should group one dimension, got %d", len(q.GroupBy))
+	}
+	if q.GroupBy[0].Level != 1 {
+		t.Error("initial grouping should be at level 1")
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("initial query invalid: %v", err)
+	}
+}
+
+func TestParseHelp(t *testing.T) {
+	s := newFlightsSession(t)
+	r, err := s.Parse("please give me some help")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r.Action != "help" || r.IsQuery {
+		t.Error("help should not trigger a query")
+	}
+	for _, frag := range []string{"drill down", "roll up", "start airport", "region", "season"} {
+		if !strings.Contains(r.Message, frag) {
+			t.Errorf("help text missing %q", frag)
+		}
+	}
+}
+
+func TestParseDeclarativeLevels(t *testing.T) {
+	s := newFlightsSession(t)
+	r, err := s.Parse("how does cancellation depend on region and season")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !r.IsQuery {
+		t.Error("level mention should trigger a query")
+	}
+	q := s.Query()
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("group-by dims = %d, want 2", len(q.GroupBy))
+	}
+	names := map[string]bool{}
+	for _, g := range q.GroupBy {
+		names[g.Hierarchy.Name] = true
+	}
+	if !names["start airport"] || !names["flight date"] {
+		t.Errorf("grouped dims = %v", names)
+	}
+}
+
+func TestParseMemberFilter(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("break down by season"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	r, err := s.Parse("only flights starting from the North East")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !r.IsQuery {
+		t.Error("member mention should trigger a query")
+	}
+	q := s.Query()
+	found := false
+	for _, f := range q.Filters {
+		if f.Name == "the North East" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("filter missing; filters = %v", q.Filters)
+	}
+}
+
+func TestParseMostSpecificMemberWins(t *testing.T) {
+	s := newFlightsSession(t)
+	// Mentioning a city should filter at city level even though its
+	// region's name is absent.
+	_, err := s.Parse("what about Boston")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	q := s.Query()
+	if len(q.Filters) != 1 || q.Filters[0].Name != "Boston" {
+		t.Errorf("filters = %v, want Boston", q.Filters)
+	}
+	// Filter below group level must raise the level.
+	for _, g := range q.GroupBy {
+		if g.Hierarchy.Name == "start airport" && g.Level < q.Filters[0].Level {
+			t.Error("group level must be at least the filter level")
+		}
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("query invalid: %v", err)
+	}
+}
+
+func TestDrillDownAndRollUp(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("drill down into the start airport"); err != nil {
+		t.Fatalf("drill: %v", err)
+	}
+	q := s.Query()
+	if q.GroupBy[0].Level != 2 {
+		t.Errorf("level after drill = %d, want 2", q.GroupBy[0].Level)
+	}
+	if _, err := s.Parse("roll up the start airport"); err != nil {
+		t.Fatalf("roll: %v", err)
+	}
+	if got := s.Query().GroupBy[0].Level; got != 1 {
+		t.Errorf("level after roll = %d, want 1", got)
+	}
+	// Rolling up past level 1 removes the dimension.
+	r, err := s.Parse("roll up the start airport")
+	if err != nil {
+		t.Fatalf("roll: %v", err)
+	}
+	if r.IsQuery {
+		t.Error("no grouped dimensions left: should not query")
+	}
+	if len(s.Query().GroupBy) != 0 {
+		t.Error("dimension should be removed")
+	}
+}
+
+func TestDrillDownCapsAtDepth(t *testing.T) {
+	s := newFlightsSession(t)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Parse("drill down start airport"); err != nil {
+			t.Fatalf("drill: %v", err)
+		}
+	}
+	if got := s.Query().GroupBy[0].Level; got != 4 {
+		t.Errorf("level = %d, want cap at 4", got)
+	}
+}
+
+func TestDrillDownDefaultsToLastDimension(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("also break down by season"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := s.Parse("drill down"); err != nil {
+		t.Fatalf("drill: %v", err)
+	}
+	q := s.Query()
+	for _, g := range q.GroupBy {
+		if g.Hierarchy.Name == "flight date" && g.Level != 2 {
+			t.Errorf("date level = %d, want 2", g.Level)
+		}
+	}
+}
+
+func TestRemoveDimension(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("break down by region and season"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if _, err := s.Parse("remove the flight date"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	q := s.Query()
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Hierarchy.Name != "start airport" {
+		t.Errorf("groupBy after remove = %v", q.GroupBy)
+	}
+	if _, err := s.Parse("remove the kitchen sink"); err == nil {
+		t.Error("removing an unknown dimension should fail")
+	}
+}
+
+func TestClearFiltersAndReset(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("flights in Winter"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Query().Filters) == 0 {
+		t.Fatal("expected a winter filter")
+	}
+	if _, err := s.Parse("clear everything"); err != nil {
+		t.Fatalf("clear: %v", err)
+	}
+	if len(s.Query().Filters) != 0 {
+		t.Error("filters should be cleared")
+	}
+	if _, err := s.Parse("drill down start airport"); err != nil {
+		t.Fatalf("drill: %v", err)
+	}
+	r, err := s.Parse("reset please")
+	if err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	if !r.IsQuery {
+		t.Error("reset should re-query the initial state")
+	}
+	if got := s.Query().GroupBy[0].Level; got != 1 {
+		t.Errorf("level after reset = %d, want 1", got)
+	}
+}
+
+func TestParseNotUnderstood(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("lorem ipsum dolor"); !errors.Is(err, ErrNotUnderstood) {
+		t.Errorf("expected ErrNotUnderstood, got %v", err)
+	}
+	if _, err := s.Parse(""); !errors.Is(err, ErrNotUnderstood) {
+		t.Errorf("expected ErrNotUnderstood for empty input, got %v", err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("break down by region, only Winter flights"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sum := s.Summary()
+	if !strings.Contains(sum, "region") || !strings.Contains(sum, "Winter") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestQueriesValidateAgainstDataset(t *testing.T) {
+	s := newFlightsSession(t)
+	inputs := []string{
+		"break down by region and season",
+		"drill down start airport",
+		"only flights operated by Alaska Airlines Inc.",
+		"drill down flight date",
+		"roll up start airport",
+	}
+	for _, in := range inputs {
+		if _, err := s.Parse(in); err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		q := s.Query()
+		if len(q.GroupBy) == 0 {
+			continue
+		}
+		if _, err := olap.NewSpace(s.dataset, q); err != nil {
+			t.Errorf("after %q: query does not build a space: %v", in, err)
+		}
+	}
+}
+
+func TestContainsWord(t *testing.T) {
+	if !containsWord("show the region please", "region") {
+		t.Error("plain word should match")
+	}
+	if containsWord("interregional flights", "region") {
+		t.Error("substring inside a word should not match")
+	}
+	if !containsWord("region", "region") {
+		t.Error("exact match should work")
+	}
+	if containsWord("anything", "") {
+		t.Error("empty needle should not match")
+	}
+	if !containsWord("the north east, in winter", "the north east") {
+		t.Error("multi-word phrase followed by punctuation should match")
+	}
+}
+
+func TestNewSessionNoDimensions(t *testing.T) {
+	d, err := datagen.Flights(datagen.FlightsConfig{Rows: 100, Seed: 1})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	_ = d
+	// Build a dataset with no hierarchies.
+	empty, err := olap.NewDataset(d.Table())
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	if _, err := NewSession(empty, olap.Avg, "cancelled", "x"); err == nil {
+		t.Error("session over dimensionless dataset should fail")
+	}
+}

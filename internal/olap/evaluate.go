@@ -1,0 +1,135 @@
+package olap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/table"
+)
+
+// Result holds the exact evaluation of a query: per-aggregate counts and
+// sums from which any of the supported aggregation functions derive.
+type Result struct {
+	space  *Space
+	counts []int64
+	sums   []float64
+}
+
+// Evaluate computes the exact query result with a full scan of the base
+// table. It is the ground truth used to score speech quality and the data
+// source of the "Optimal" baseline.
+func Evaluate(d *Dataset, q Query) (*Result, error) {
+	space, err := NewSpace(d, q)
+	if err != nil {
+		return nil, err
+	}
+	return EvaluateSpace(space)
+}
+
+// EvaluateSpace evaluates the query of an already constructed space.
+func EvaluateSpace(space *Space) (*Result, error) {
+	q := space.Query()
+	var measure *table.Float64Column
+	if q.Fct != Count {
+		var err error
+		measure, err = space.Dataset().Measure(q.Col)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := &Result{
+		space:  space,
+		counts: make([]int64, space.Size()),
+		sums:   make([]float64, space.Size()),
+	}
+	n := space.Dataset().Table().NumRows()
+	for row := 0; row < n; row++ {
+		idx, ok := space.ClassifyRow(row)
+		if !ok {
+			continue
+		}
+		r.counts[idx]++
+		if measure != nil {
+			r.sums[idx] += measure.Float(row)
+		}
+	}
+	return r, nil
+}
+
+// Space returns the aggregate space of the result.
+func (r *Result) Space() *Space { return r.space }
+
+// Count returns the row count of aggregate idx.
+func (r *Result) Count(idx int) int64 { return r.counts[idx] }
+
+// Sum returns the measure sum of aggregate idx.
+func (r *Result) Sum(idx int) float64 { return r.sums[idx] }
+
+// Value returns the aggregate value of idx under the query's aggregation
+// function. Average over an empty aggregate returns NaN.
+func (r *Result) Value(idx int) float64 {
+	switch r.space.Query().Fct {
+	case Count:
+		return float64(r.counts[idx])
+	case Sum:
+		return r.sums[idx]
+	case Avg:
+		if r.counts[idx] == 0 {
+			return math.NaN()
+		}
+		return r.sums[idx] / float64(r.counts[idx])
+	default:
+		panic(fmt.Sprintf("olap: unknown aggregation function %v", r.space.Query().Fct))
+	}
+}
+
+// Values returns all aggregate values in index order.
+func (r *Result) Values() []float64 {
+	out := make([]float64, r.space.Size())
+	for i := range out {
+		out[i] = r.Value(i)
+	}
+	return out
+}
+
+// GrandValue returns the aggregate value over the entire query scope
+// (all aggregates combined): total count, total sum, or overall average.
+func (r *Result) GrandValue() float64 {
+	var count int64
+	var sum float64
+	for i := range r.counts {
+		count += r.counts[i]
+		sum += r.sums[i]
+	}
+	switch r.space.Query().Fct {
+	case Count:
+		return float64(count)
+	case Sum:
+		return sum
+	case Avg:
+		if count == 0 {
+			return math.NaN()
+		}
+		return sum / float64(count)
+	default:
+		panic(fmt.Sprintf("olap: unknown aggregation function %v", r.space.Query().Fct))
+	}
+}
+
+// DefinedMean returns the mean over aggregates with at least one row,
+// which for sparse averages is the natural "typical value" baseline.
+func (r *Result) DefinedMean() float64 {
+	var sum float64
+	var n int
+	for i := range r.counts {
+		v := r.Value(i)
+		if !math.IsNaN(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

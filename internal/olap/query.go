@@ -1,0 +1,197 @@
+// Package olap defines the OLAP query model of the paper (aggregation
+// function, aggregation column, and a set of mutually exclusive aggregates
+// spanned by dimension members at chosen hierarchy levels) together with an
+// exact group-by evaluation engine. The exact engine provides ground truth
+// for speech-quality measurement and powers the "Optimal" baseline; the
+// holistic algorithm instead samples from the same row stream.
+package olap
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dimension"
+	"repro/internal/table"
+)
+
+// AggFunc is an aggregation function. The paper supports the three
+// functions that sampling approximates well: count, sum, and average.
+type AggFunc int
+
+// Supported aggregation functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Avg:
+		return "average"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// GroupBy selects the breakdown granularity for one dimension: all members
+// of Hierarchy at depth Level (within the query's filter scope).
+type GroupBy struct {
+	Hierarchy *dimension.Hierarchy
+	Level     int
+}
+
+// Query is an OLAP aggregation query. Filters fix a member per dimension
+// (rows outside the member's subtree are out of scope); GroupBy dimensions
+// break the result down into one aggregate per member combination.
+type Query struct {
+	// Fct is the aggregation function.
+	Fct AggFunc
+	// Col names the measure column; ignored for Count.
+	Col string
+	// ColDescription is the spoken name of the aggregate, e.g.
+	// "average cancellation probability".
+	ColDescription string
+	// Filters fix one member per filtered dimension.
+	Filters []*dimension.Member
+	// GroupBy lists breakdown dimensions with their levels.
+	GroupBy []GroupBy
+}
+
+// Validate performs structural checks that do not need a dataset.
+func (q Query) Validate() error {
+	if q.Fct != Count && q.Col == "" {
+		return errors.New("olap: sum/average query needs a measure column")
+	}
+	if len(q.GroupBy) == 0 {
+		return errors.New("olap: query needs at least one group-by dimension")
+	}
+	seen := make(map[*dimension.Hierarchy]bool)
+	for _, g := range q.GroupBy {
+		if g.Hierarchy == nil {
+			return errors.New("olap: nil group-by hierarchy")
+		}
+		if g.Level < 1 || g.Level > g.Hierarchy.Depth() {
+			return fmt.Errorf("olap: level %d out of range for dimension %q (depth %d)",
+				g.Level, g.Hierarchy.Name, g.Hierarchy.Depth())
+		}
+		if seen[g.Hierarchy] {
+			return fmt.Errorf("olap: dimension %q grouped twice", g.Hierarchy.Name)
+		}
+		seen[g.Hierarchy] = true
+	}
+	seenFilter := make(map[*dimension.Hierarchy]bool)
+	for _, m := range q.Filters {
+		if m == nil {
+			return errors.New("olap: nil filter member")
+		}
+		h := m.Hierarchy()
+		if seenFilter[h] {
+			return fmt.Errorf("olap: dimension %q filtered twice", h.Name)
+		}
+		seenFilter[h] = true
+	}
+	return nil
+}
+
+// FilterOn returns the filter member for hierarchy h, or nil.
+func (q Query) FilterOn(h *dimension.Hierarchy) *dimension.Member {
+	for _, m := range q.Filters {
+		if m.Hierarchy() == h {
+			return m
+		}
+	}
+	return nil
+}
+
+// Dataset couples a base table with the dimension hierarchies defined over
+// it and caches the per-column bindings needed for row classification.
+type Dataset struct {
+	tab         *table.Table
+	hierarchies []*dimension.Hierarchy
+	bindings    map[*dimension.Hierarchy]*dimension.Binding
+	measures    map[string]*table.Float64Column
+}
+
+// NewDataset binds each hierarchy against the table and indexes the
+// available float64 measure columns.
+func NewDataset(t *table.Table, hierarchies ...*dimension.Hierarchy) (*Dataset, error) {
+	d := &Dataset{
+		tab:         t,
+		hierarchies: hierarchies,
+		bindings:    make(map[*dimension.Hierarchy]*dimension.Binding, len(hierarchies)),
+		measures:    make(map[string]*table.Float64Column),
+	}
+	for _, h := range hierarchies {
+		b, err := h.Bind(t)
+		if err != nil {
+			return nil, fmt.Errorf("olap: %w", err)
+		}
+		d.bindings[h] = b
+	}
+	for _, c := range t.Columns() {
+		if fc, ok := c.(*table.Float64Column); ok {
+			d.measures[c.Name()] = fc
+		}
+	}
+	return d, nil
+}
+
+// Table returns the base table.
+func (d *Dataset) Table() *table.Table { return d.tab }
+
+// Hierarchies returns the dimension hierarchies.
+func (d *Dataset) Hierarchies() []*dimension.Hierarchy { return d.hierarchies }
+
+// HierarchyByName returns the hierarchy with the given name, or nil.
+func (d *Dataset) HierarchyByName(name string) *dimension.Hierarchy {
+	for _, h := range d.hierarchies {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// Binding returns the row-classification binding for h, or nil if h is not
+// part of this dataset.
+func (d *Dataset) Binding(h *dimension.Hierarchy) *dimension.Binding {
+	return d.bindings[h]
+}
+
+// Measure returns the named float64 measure column.
+func (d *Dataset) Measure(name string) (*table.Float64Column, error) {
+	if c, ok := d.measures[name]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("olap: no float64 measure column %q", name)
+}
+
+// ValidateQuery checks q against this dataset: hierarchies must belong to
+// the dataset and the measure column must exist for sum/average.
+func (d *Dataset) ValidateQuery(q Query) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	for _, g := range q.GroupBy {
+		if d.bindings[g.Hierarchy] == nil {
+			return fmt.Errorf("olap: dimension %q not part of dataset", g.Hierarchy.Name)
+		}
+	}
+	for _, m := range q.Filters {
+		if d.bindings[m.Hierarchy()] == nil {
+			return fmt.Errorf("olap: filter dimension %q not part of dataset", m.Hierarchy().Name)
+		}
+	}
+	if q.Fct != Count {
+		if _, err := d.Measure(q.Col); err != nil {
+			return err
+		}
+	}
+	return nil
+}

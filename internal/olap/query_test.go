@@ -1,0 +1,139 @@
+package olap
+
+import (
+	"testing"
+)
+
+func TestAggFuncString(t *testing.T) {
+	if Count.String() != "count" || Sum.String() != "sum" || Avg.String() != "average" {
+		t.Error("AggFunc strings wrong")
+	}
+	if AggFunc(9).String() == "" {
+		t.Error("unknown AggFunc should still render")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	f := newFixture(t)
+	q := f.regionSeasonQuery()
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+
+	bad := q
+	bad.Col = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("average without measure column should fail")
+	}
+
+	bad = q
+	bad.GroupBy = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("query without group-by should fail")
+	}
+
+	bad = q
+	bad.GroupBy = []GroupBy{{Hierarchy: f.airport, Level: 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("level 0 group-by should fail")
+	}
+
+	bad = q
+	bad.GroupBy = []GroupBy{{Hierarchy: f.airport, Level: 5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("too-deep level should fail")
+	}
+
+	bad = q
+	bad.GroupBy = append([]GroupBy{}, q.GroupBy...)
+	bad.GroupBy = append(bad.GroupBy, GroupBy{Hierarchy: f.airport, Level: 2})
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate group-by dimension should fail")
+	}
+
+	bad = q
+	bad.GroupBy = []GroupBy{{Hierarchy: nil, Level: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil group-by hierarchy should fail")
+	}
+}
+
+func TestQueryValidateFilters(t *testing.T) {
+	f := newFixture(t)
+	q := f.regionSeasonQuery()
+	ne := f.airport.FindMember("the North East")
+	q.Filters = append(q.Filters, ne, ne)
+	if err := q.Validate(); err == nil {
+		t.Error("duplicate filter dimension should fail")
+	}
+	q.Filters = nil
+	q.Filters = append(q.Filters, nil)
+	if err := q.Validate(); err == nil {
+		t.Error("nil filter should fail")
+	}
+}
+
+func TestQueryFilterOn(t *testing.T) {
+	f := newFixture(t)
+	q := f.regionSeasonQuery()
+	ne := f.airport.FindMember("the North East")
+	q.Filters = append(q.Filters, ne)
+	if q.FilterOn(f.airport) != ne {
+		t.Error("FilterOn should find the airport filter")
+	}
+	if q.FilterOn(f.date) != nil {
+		t.Error("FilterOn should be nil for unfiltered dimension")
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	f := newFixture(t)
+	d := f.dataset
+	if d.Table().NumRows() != len(fixtureRows) {
+		t.Error("table row mismatch")
+	}
+	if len(d.Hierarchies()) != 2 {
+		t.Error("expected two hierarchies")
+	}
+	if d.HierarchyByName("flight date") != f.date {
+		t.Error("HierarchyByName failed")
+	}
+	if d.HierarchyByName("nope") != nil {
+		t.Error("unknown hierarchy should be nil")
+	}
+	if d.Binding(f.airport) == nil {
+		t.Error("binding should exist")
+	}
+	if _, err := d.Measure("cancelled"); err != nil {
+		t.Errorf("Measure: %v", err)
+	}
+	if _, err := d.Measure("city"); err == nil {
+		t.Error("string column should not be a measure")
+	}
+}
+
+func TestValidateQueryAgainstDataset(t *testing.T) {
+	f := newFixture(t)
+	q := f.regionSeasonQuery()
+	if err := f.dataset.ValidateQuery(q); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	// Foreign hierarchy.
+	foreign := f.regionSeasonQuery()
+	other := newFixture(t)
+	foreign.GroupBy[0].Hierarchy = other.airport
+	if err := f.dataset.ValidateQuery(foreign); err == nil {
+		t.Error("foreign group-by hierarchy should fail")
+	}
+	foreign = f.regionSeasonQuery()
+	foreign.Filters = append(foreign.Filters, other.airport.FindMember("the West"))
+	if err := f.dataset.ValidateQuery(foreign); err == nil {
+		t.Error("foreign filter hierarchy should fail")
+	}
+	// Missing measure.
+	bad := f.regionSeasonQuery()
+	bad.Col = "ghost"
+	if err := f.dataset.ValidateQuery(bad); err == nil {
+		t.Error("missing measure should fail")
+	}
+}

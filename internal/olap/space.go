@@ -1,0 +1,217 @@
+package olap
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dimension"
+)
+
+// Space is the enumerated aggregate space of a query: the cross product of
+// members at the group-by levels, restricted to the query's filter scope.
+// Aggregates are addressed by a dense index in [0, Size()); coordinates are
+// one member per group-by dimension.
+type Space struct {
+	query    Query
+	dataset  *Dataset
+	bindings []*dimension.Binding
+	levels   []int
+	// members[d] lists the admissible members of group-by dimension d.
+	members [][]*dimension.Member
+	// memberPos[d] maps a member to its position within members[d].
+	memberPos []map[*dimension.Member]int
+	// extraFilters are filters on dimensions that are not grouped; rows
+	// must additionally match these to be in scope.
+	extraFilters []filterCheck
+	size         int
+	strides      []int
+}
+
+type filterCheck struct {
+	binding *dimension.Binding
+	member  *dimension.Member
+}
+
+// NewSpace enumerates the aggregate space for q over d.
+func NewSpace(d *Dataset, q Query) (*Space, error) {
+	if err := d.ValidateQuery(q); err != nil {
+		return nil, err
+	}
+	s := &Space{query: q, dataset: d}
+	for _, g := range q.GroupBy {
+		b := d.Binding(g.Hierarchy)
+		scope := g.Hierarchy.Root()
+		if f := q.FilterOn(g.Hierarchy); f != nil {
+			scope = f
+		}
+		if scope.Level > g.Level {
+			return nil, fmt.Errorf(
+				"olap: filter on %q fixes level %d below group-by level %d",
+				g.Hierarchy.Name, scope.Level, g.Level)
+		}
+		ms := scope.DescendantsAt(g.Level)
+		if len(ms) == 0 {
+			return nil, fmt.Errorf("olap: dimension %q has no members at level %d in scope",
+				g.Hierarchy.Name, g.Level)
+		}
+		pos := make(map[*dimension.Member]int, len(ms))
+		for i, m := range ms {
+			pos[m] = i
+		}
+		s.bindings = append(s.bindings, b)
+		s.levels = append(s.levels, g.Level)
+		s.members = append(s.members, ms)
+		s.memberPos = append(s.memberPos, pos)
+	}
+	for _, f := range q.Filters {
+		grouped := false
+		for _, g := range q.GroupBy {
+			if g.Hierarchy == f.Hierarchy() {
+				grouped = true
+				break
+			}
+		}
+		if !grouped {
+			s.extraFilters = append(s.extraFilters, filterCheck{d.Binding(f.Hierarchy()), f})
+		}
+	}
+	s.size = 1
+	s.strides = make([]int, len(s.members))
+	for d := len(s.members) - 1; d >= 0; d-- {
+		s.strides[d] = s.size
+		s.size *= len(s.members[d])
+	}
+	return s, nil
+}
+
+// Query returns the query that spans this space.
+func (s *Space) Query() Query { return s.query }
+
+// Dataset returns the dataset the space is defined over.
+func (s *Space) Dataset() *Dataset { return s.dataset }
+
+// Size returns the number of aggregates in the query result.
+func (s *Space) Size() int { return s.size }
+
+// NumDims returns the number of group-by dimensions.
+func (s *Space) NumDims() int { return len(s.members) }
+
+// Members returns the admissible members of group-by dimension d.
+func (s *Space) Members(d int) []*dimension.Member { return s.members[d] }
+
+// Coordinates returns the member per dimension for aggregate index idx.
+func (s *Space) Coordinates(idx int) []*dimension.Member {
+	coords := make([]*dimension.Member, len(s.members))
+	for d := range s.members {
+		coords[d] = s.members[d][(idx/s.strides[d])%len(s.members[d])]
+	}
+	return coords
+}
+
+// IndexOf returns the aggregate index for the given coordinates, or -1 if
+// any coordinate is not an admissible member of its dimension.
+func (s *Space) IndexOf(coords []*dimension.Member) int {
+	if len(coords) != len(s.members) {
+		return -1
+	}
+	idx := 0
+	for d, m := range coords {
+		p, ok := s.memberPos[d][m]
+		if !ok {
+			return -1
+		}
+		idx += p * s.strides[d]
+	}
+	return idx
+}
+
+// ClassifyRow maps a table row to its aggregate index, or returns ok=false
+// when the row is outside the query scope.
+func (s *Space) ClassifyRow(row int) (idx int, ok bool) {
+	for _, f := range s.extraFilters {
+		if !f.binding.RowMatches(row, f.member) {
+			return 0, false
+		}
+	}
+	for d, b := range s.bindings {
+		m := b.MemberOfRow(row, s.levels[d])
+		p, within := s.memberPos[d][m]
+		if !within {
+			return 0, false
+		}
+		idx += p * s.strides[d]
+	}
+	return idx, true
+}
+
+// InScope reports whether aggregate idx matches all the given predicate
+// members (each predicate is a member of one of the group-by hierarchies;
+// the aggregate's coordinate in that hierarchy must be a descendant).
+// Predicates on hierarchies that are not grouped match everything (the
+// query filter already restricted them).
+func (s *Space) InScope(idx int, preds []*dimension.Member) bool {
+	for _, p := range preds {
+		matched := false
+		found := false
+		for d := range s.members {
+			if s.bindings[d].Hierarchy() == p.Hierarchy() {
+				found = true
+				coord := s.members[d][(idx/s.strides[d])%len(s.members[d])]
+				matched = coord.IsDescendantOf(p)
+				break
+			}
+		}
+		if found && !matched {
+			return false
+		}
+	}
+	return true
+}
+
+// ScopeSize returns the number of aggregates matching all predicates:
+// per group-by dimension, the count of admissible members lying in the
+// subtree of every predicate on that hierarchy (multiple predicates on
+// one hierarchy intersect — distinct siblings have an empty scope).
+// Computed in O(dims x members) without enumerating the aggregate space.
+func (s *Space) ScopeSize(preds []*dimension.Member) int {
+	n := 1
+	for d := range s.members {
+		h := s.bindings[d].Hierarchy()
+		var dimPreds []*dimension.Member
+		for _, p := range preds {
+			if p.Hierarchy() == h {
+				dimPreds = append(dimPreds, p)
+			}
+		}
+		if len(dimPreds) == 0 {
+			n *= len(s.members[d])
+			continue
+		}
+		count := 0
+		for _, m := range s.members[d] {
+			all := true
+			for _, p := range dimPreds {
+				if !m.IsDescendantOf(p) {
+					all = false
+					break
+				}
+			}
+			if all {
+				count++
+			}
+		}
+		n *= count
+	}
+	return n
+}
+
+// AggregateName renders the coordinates of aggregate idx for diagnostics,
+// e.g. "the North East / Winter".
+func (s *Space) AggregateName(idx int) string {
+	coords := s.Coordinates(idx)
+	parts := make([]string, len(coords))
+	for i, m := range coords {
+		parts[i] = m.Name
+	}
+	return strings.Join(parts, " / ")
+}

@@ -1,0 +1,200 @@
+package olap
+
+import (
+	"testing"
+
+	"repro/internal/dimension"
+)
+
+func TestSpaceEnumeration(t *testing.T) {
+	f := newFixture(t)
+	s, err := NewSpace(f.dataset, f.regionSeasonQuery())
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	// 3 regions x 2 seasons.
+	if s.Size() != 6 {
+		t.Fatalf("size = %d, want 6", s.Size())
+	}
+	if s.NumDims() != 2 {
+		t.Fatalf("dims = %d, want 2", s.NumDims())
+	}
+	if len(s.Members(0)) != 3 || len(s.Members(1)) != 2 {
+		t.Error("member lists wrong")
+	}
+	// Index <-> coordinates round trip.
+	seen := make(map[string]bool)
+	for i := 0; i < s.Size(); i++ {
+		coords := s.Coordinates(i)
+		if got := s.IndexOf(coords); got != i {
+			t.Errorf("IndexOf(Coordinates(%d)) = %d", i, got)
+		}
+		name := s.AggregateName(i)
+		if seen[name] {
+			t.Errorf("duplicate aggregate %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestSpaceIndexOfErrors(t *testing.T) {
+	f := newFixture(t)
+	s, _ := NewSpace(f.dataset, f.regionSeasonQuery())
+	if s.IndexOf(nil) != -1 {
+		t.Error("wrong arity should be -1")
+	}
+	// A member of the wrong level is not admissible.
+	boston := f.airport.Leaf("Boston")
+	winter := f.date.FindMember("Winter")
+	if s.IndexOf([]*dimension.Member{boston, winter}) != -1 {
+		t.Error("city-level member in region-level space should be -1")
+	}
+}
+
+func TestSpaceWithFilterOnGroupedDim(t *testing.T) {
+	f := newFixture(t)
+	q := f.regionSeasonQuery()
+	ne := f.airport.FindMember("the North East")
+	q.Filters = []*dimension.Member{ne}
+	// Break down NE by city and season: 2 cities x 2 seasons.
+	q.GroupBy[0].Level = 2
+	s, err := NewSpace(f.dataset, q)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	if s.Size() != 4 {
+		t.Fatalf("size = %d, want 4", s.Size())
+	}
+	for _, m := range s.Members(0) {
+		if !m.IsDescendantOf(ne) {
+			t.Errorf("member %v outside filter scope", m)
+		}
+	}
+}
+
+func TestSpaceFilterBelowGroupLevel(t *testing.T) {
+	f := newFixture(t)
+	q := f.regionSeasonQuery()
+	q.Filters = []*dimension.Member{f.airport.Leaf("Boston")}
+	// Group level 1 < filter level 2: rejected.
+	if _, err := NewSpace(f.dataset, q); err == nil {
+		t.Error("filter finer than group level should fail")
+	}
+}
+
+func TestClassifyRow(t *testing.T) {
+	f := newFixture(t)
+	s, _ := NewSpace(f.dataset, f.regionSeasonQuery())
+	// Row 0 is Boston/January -> NE/Winter.
+	idx, ok := s.ClassifyRow(0)
+	if !ok {
+		t.Fatal("row 0 should be in scope")
+	}
+	coords := s.Coordinates(idx)
+	if coords[0].Name != "the North East" || coords[1].Name != "Winter" {
+		t.Errorf("row 0 classified as %v", s.AggregateName(idx))
+	}
+}
+
+func TestClassifyRowWithExtraFilter(t *testing.T) {
+	f := newFixture(t)
+	// Filter on date=Winter, group only by region.
+	q := Query{
+		Fct: Avg, Col: "cancelled",
+		Filters: []*dimension.Member{f.date.FindMember("Winter")},
+		GroupBy: []GroupBy{{Hierarchy: f.airport, Level: 1}},
+	}
+	s, err := NewSpace(f.dataset, q)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	if s.Size() != 3 {
+		t.Fatalf("size = %d, want 3", s.Size())
+	}
+	// Row 3 is Boston/July: out of scope.
+	if _, ok := s.ClassifyRow(3); ok {
+		t.Error("summer row should be filtered out")
+	}
+	// Row 0 is Boston/January: in scope.
+	if _, ok := s.ClassifyRow(0); !ok {
+		t.Error("winter row should be in scope")
+	}
+}
+
+func TestInScopeAndScopeSize(t *testing.T) {
+	f := newFixture(t)
+	s, _ := NewSpace(f.dataset, f.regionSeasonQuery())
+	ne := f.airport.FindMember("the North East")
+	winter := f.date.FindMember("Winter")
+
+	if got := s.ScopeSize(nil); got != 6 {
+		t.Errorf("empty predicate scope = %d, want 6", got)
+	}
+	if got := s.ScopeSize([]*dimension.Member{ne}); got != 2 {
+		t.Errorf("NE scope = %d, want 2 (2 seasons)", got)
+	}
+	if got := s.ScopeSize([]*dimension.Member{ne, winter}); got != 1 {
+		t.Errorf("NE+Winter scope = %d, want 1", got)
+	}
+	// Root predicate matches all aggregates in that dimension.
+	if got := s.ScopeSize([]*dimension.Member{f.airport.Root()}); got != 6 {
+		t.Errorf("root scope = %d, want 6", got)
+	}
+
+	// Verify InScope against brute force counting.
+	count := 0
+	for i := 0; i < s.Size(); i++ {
+		if s.InScope(i, []*dimension.Member{ne}) {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("InScope count = %d, want 2", count)
+	}
+}
+
+func TestScopeSizeIntersectsSameHierarchyPredicates(t *testing.T) {
+	f := newFixture(t)
+	s, _ := NewSpace(f.dataset, f.regionSeasonQuery())
+	ne := f.airport.FindMember("the North East")
+	mw := f.airport.FindMember("the Midwest")
+	// Distinct siblings intersect to nothing.
+	if got := s.ScopeSize([]*dimension.Member{ne, mw}); got != 0 {
+		t.Errorf("NE ∩ MW scope = %d, want 0", got)
+	}
+	// Nested predicates intersect to the finer one. Group by city so the
+	// leaf predicate is admissible.
+	q := f.regionSeasonQuery()
+	q.GroupBy[0].Level = 2
+	s2, err := NewSpace(f.dataset, q)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	boston := f.airport.Leaf("Boston")
+	if got := s2.ScopeSize([]*dimension.Member{ne, boston}); got != s2.ScopeSize([]*dimension.Member{boston}) {
+		t.Errorf("NE ∩ Boston = %d, want Boston's own scope %d",
+			got, s2.ScopeSize([]*dimension.Member{boston}))
+	}
+}
+
+func TestScopeSizeMatchesInScope(t *testing.T) {
+	f := newFixture(t)
+	s, _ := NewSpace(f.dataset, f.regionSeasonQuery())
+	preds := [][]*dimension.Member{
+		nil,
+		{f.airport.FindMember("the Midwest")},
+		{f.date.FindMember("Summer")},
+		{f.airport.FindMember("the West"), f.date.FindMember("Winter")},
+	}
+	for _, ps := range preds {
+		brute := 0
+		for i := 0; i < s.Size(); i++ {
+			if s.InScope(i, ps) {
+				brute++
+			}
+		}
+		if got := s.ScopeSize(ps); got != brute {
+			t.Errorf("ScopeSize(%v) = %d, brute force = %d", ps, got, brute)
+		}
+	}
+}

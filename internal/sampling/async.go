@@ -1,0 +1,147 @@
+package sampling
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/olap"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// AsyncSampler fills a cache from a background goroutine, so on a real
+// clock the database scan truly overlaps voice output and planning — the
+// paper's "processing data in the background". All cache reads go through
+// the sampler's mutex; the planner calls the same Estimator methods it
+// would call on a plain Cache.
+type AsyncSampler struct {
+	mu      sync.Mutex
+	cache   *Cache
+	scanner *table.RandomScanner
+
+	batch   int
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// Compile-time check: the async sampler is an Estimator.
+var _ Estimator = (*AsyncSampler)(nil)
+
+// NewAsyncSampler creates the cache and scan stream for space. batch is
+// the number of rows inserted per lock acquisition (<= 0 selects 256).
+func NewAsyncSampler(space *olap.Space, rng *rand.Rand, batch int) (*AsyncSampler, error) {
+	cache, err := NewCache(space)
+	if err != nil {
+		return nil, err
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	return &AsyncSampler{
+		cache:   cache,
+		scanner: table.NewRandomScanner(space.Dataset().Table(), rng),
+		batch:   batch,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start launches the background scan. It may be called once.
+func (a *AsyncSampler) Start() {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.mu.Unlock()
+	go a.loop()
+}
+
+// loop pulls batches until the table is exhausted or Stop is called.
+func (a *AsyncSampler) loop() {
+	defer close(a.done)
+	rows := make([]int, 0, a.batch)
+	for {
+		select {
+		case <-a.stop:
+			return
+		default:
+		}
+		rows = rows[:0]
+		for len(rows) < a.batch {
+			r, ok := a.scanner.Next()
+			if !ok {
+				break
+			}
+			rows = append(rows, r)
+		}
+		if len(rows) == 0 {
+			return
+		}
+		a.mu.Lock()
+		for _, r := range rows {
+			a.cache.Insert(r)
+		}
+		a.mu.Unlock()
+	}
+}
+
+// Stop halts the background scan and waits for it to finish. Safe to call
+// multiple times and before Start.
+func (a *AsyncSampler) Stop() {
+	a.mu.Lock()
+	started := a.started
+	a.mu.Unlock()
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	if started {
+		<-a.done
+	}
+}
+
+// PickAggregate implements Estimator under the sampler's lock.
+func (a *AsyncSampler) PickAggregate(rng *rand.Rand) (int, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cache.PickAggregate(rng)
+}
+
+// Estimate implements Estimator under the sampler's lock.
+func (a *AsyncSampler) Estimate(agg int, rng *rand.Rand) (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cache.Estimate(agg, rng)
+}
+
+// GrandEstimate returns the whole-scope estimate under the lock.
+func (a *AsyncSampler) GrandEstimate() (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cache.GrandEstimate()
+}
+
+// NrRead returns the rows consumed so far.
+func (a *AsyncSampler) NrRead() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cache.NrRead()
+}
+
+// NrInScope returns the cached (in-scope) row count so far.
+func (a *AsyncSampler) NrInScope() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cache.NrInScope()
+}
+
+// PooledConfidenceInterval proxies the cache's pooled bound under the lock.
+func (a *AsyncSampler) PooledConfidenceInterval(aggs []int, confidence float64) (stats.Interval, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cache.PooledConfidenceInterval(aggs, confidence)
+}

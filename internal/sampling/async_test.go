@@ -1,0 +1,132 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/olap"
+)
+
+func TestAsyncSamplerFillsInBackground(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	rng := rand.New(rand.NewSource(1))
+	a, err := NewAsyncSampler(s, rng, 128)
+	if err != nil {
+		t.Fatalf("NewAsyncSampler: %v", err)
+	}
+	a.Start()
+	defer a.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.NrRead() < 5000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.NrRead() < 5000 {
+		t.Fatalf("background scan too slow: %d rows", a.NrRead())
+	}
+	// Estimates available while scanning.
+	agg, ok := a.PickAggregate(rng)
+	if !ok {
+		t.Fatal("no eligible aggregate")
+	}
+	if _, ok := a.Estimate(agg, rng); !ok {
+		t.Fatal("estimate unavailable")
+	}
+	if _, ok := a.GrandEstimate(); !ok {
+		t.Fatal("grand estimate unavailable")
+	}
+}
+
+func TestAsyncSamplerDrainsTable(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	rng := rand.New(rand.NewSource(2))
+	a, err := NewAsyncSampler(s, rng, 4096)
+	if err != nil {
+		t.Fatalf("NewAsyncSampler: %v", err)
+	}
+	a.Start()
+	n := int64(s.Dataset().Table().NumRows())
+	deadline := time.Now().Add(10 * time.Second)
+	for a.NrRead() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	a.Stop()
+	if a.NrRead() != n {
+		t.Fatalf("read %d of %d rows", a.NrRead(), n)
+	}
+	// With the full table consumed, the grand estimate is exact.
+	exact, _ := olap.EvaluateSpace(s)
+	got, ok := a.GrandEstimate()
+	if !ok {
+		t.Fatal("grand estimate unavailable")
+	}
+	if math.Abs(got-exact.GrandValue()) > 1e-12 {
+		t.Errorf("grand = %v, exact %v", got, exact.GrandValue())
+	}
+}
+
+func TestAsyncSamplerStopIsIdempotent(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	rng := rand.New(rand.NewSource(3))
+	a, err := NewAsyncSampler(s, rng, 64)
+	if err != nil {
+		t.Fatalf("NewAsyncSampler: %v", err)
+	}
+	// Stop before start: no deadlock.
+	a.Stop()
+	a.Stop()
+	// Start after stop is a no-op scan (channel already closed).
+	a.Start()
+	a.Stop()
+}
+
+func TestAsyncSamplerConcurrentReads(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	a, err := NewAsyncSampler(s, rand.New(rand.NewSource(4)), 64)
+	if err != nil {
+		t.Fatalf("NewAsyncSampler: %v", err)
+	}
+	a.Start()
+	defer a.Stop()
+	done := make(chan struct{})
+	go func() {
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 2000; i++ {
+			if agg, ok := a.PickAggregate(rng); ok {
+				a.Estimate(agg, rng)
+			}
+			a.GrandEstimate()
+		}
+		close(done)
+	}()
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 2000; i++ {
+		a.NrRead()
+		if agg, ok := a.PickAggregate(rng); ok {
+			a.Estimate(agg, rng)
+		}
+	}
+	<-done
+}
+
+func TestAsyncSamplerPooledInterval(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	a, err := NewAsyncSampler(s, rand.New(rand.NewSource(7)), 1024)
+	if err != nil {
+		t.Fatalf("NewAsyncSampler: %v", err)
+	}
+	a.Start()
+	defer a.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.NrRead() < 2000 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	all := make([]int, s.Size())
+	for i := range all {
+		all[i] = i
+	}
+	if _, ok := a.PooledConfidenceInterval(all, 0.95); !ok {
+		t.Error("pooled interval unavailable after 2000 rows")
+	}
+}

@@ -1,0 +1,55 @@
+package sampling
+
+import (
+	"math/rand"
+
+	"repro/internal/olap"
+	"repro/internal/table"
+)
+
+// Sampler pulls rows from a pseudo-random scan of the base table into a
+// cache. The holistic planner calls ReadRows in small batches between
+// search-tree samples, overlapping data access with voice output.
+type Sampler struct {
+	scanner table.Scanner
+	cache   *Cache
+}
+
+// NewSampler creates a cache for the query of space and a pseudo-random
+// row stream seeded from rng.
+func NewSampler(space *olap.Space, rng *rand.Rand) (*Sampler, error) {
+	cache, err := NewCache(space)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{
+		scanner: table.NewRandomScanner(space.Dataset().Table(), rng),
+		cache:   cache,
+	}, nil
+}
+
+// Cache returns the cache the sampler fills.
+func (s *Sampler) Cache() *Cache { return s.cache }
+
+// ReadRows pulls up to n rows from the scan into the cache and returns how
+// many rows were actually read (fewer once the table is exhausted).
+func (s *Sampler) ReadRows(n int) int {
+	read := 0
+	for read < n {
+		row, ok := s.scanner.Next()
+		if !ok {
+			break
+		}
+		s.cache.Insert(row)
+		read++
+	}
+	return read
+}
+
+// Exhausted reports whether the scan has consumed the whole table.
+func (s *Sampler) Exhausted() bool {
+	if rs, ok := s.scanner.(*table.RandomScanner); ok {
+		return rs.Remaining() == 0
+	}
+	return false
+}

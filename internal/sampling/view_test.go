@@ -1,0 +1,170 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/olap"
+)
+
+func TestBuildViewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BuildView(nil, 0, rng); err == nil {
+		t.Error("nil space should fail")
+	}
+	s := flightsSpace(t, olap.Avg)
+	if _, err := BuildView(s, 0, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	v, err := BuildView(s, 0, rng)
+	if err != nil {
+		t.Fatalf("BuildView: %v", err)
+	}
+	if v.ReservoirSize != DefaultReservoirSize {
+		t.Errorf("reservoir size = %d", v.ReservoirSize)
+	}
+	if v.Space() != s {
+		t.Error("Space accessor wrong")
+	}
+}
+
+func TestViewExactCounts(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	rng := rand.New(rand.NewSource(2))
+	v, err := BuildView(s, 16, rng)
+	if err != nil {
+		t.Fatalf("BuildView: %v", err)
+	}
+	// Counts are exact: compare against the exact evaluation.
+	countQ := s.Query()
+	countQ.Fct = olap.Count
+	countQ.Col = ""
+	countSpace, err := olap.NewSpace(s.Dataset(), countQ)
+	if err != nil {
+		t.Fatalf("NewSpace: %v", err)
+	}
+	exact, err := olap.EvaluateSpace(countSpace)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	for a := 0; a < s.Size(); a++ {
+		if got, want := v.Count(a), int64(exact.Value(a)); got != want {
+			t.Errorf("aggregate %d count = %d, want %d", a, got, want)
+		}
+	}
+}
+
+func TestViewReservoirBounds(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	rng := rand.New(rand.NewSource(3))
+	const reservoir = 8
+	v, err := BuildView(s, reservoir, rng)
+	if err != nil {
+		t.Fatalf("BuildView: %v", err)
+	}
+	for a := 0; a < s.Size(); a++ {
+		size := v.SampleSize(a)
+		if size > reservoir {
+			t.Errorf("aggregate %d reservoir = %d > %d", a, size, reservoir)
+		}
+		if v.Count(a) > 0 && size == 0 {
+			t.Errorf("aggregate %d has rows but empty reservoir", a)
+		}
+		if v.Count(a) < int64(reservoir) && int64(size) != v.Count(a) {
+			t.Errorf("aggregate %d: small stratum should be fully sampled (%d of %d)",
+				a, size, v.Count(a))
+		}
+	}
+	if v.NonEmpty() == 0 {
+		t.Error("view should have non-empty aggregates")
+	}
+}
+
+func TestViewEstimatesApproachExact(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	exact, _ := olap.EvaluateSpace(s)
+	rng := rand.New(rand.NewSource(4))
+	v, err := BuildView(s, 512, rng)
+	if err != nil {
+		t.Fatalf("BuildView: %v", err)
+	}
+	for a := 0; a < s.Size(); a++ {
+		want := exact.Value(a)
+		if math.IsNaN(want) {
+			if _, ok := v.Estimate(a, rng); ok {
+				t.Errorf("empty aggregate %d should have no average estimate", a)
+			}
+			continue
+		}
+		got, ok := v.Estimate(a, rng)
+		if !ok {
+			t.Fatalf("estimate for aggregate %d unavailable", a)
+		}
+		// Reservoirs of several hundred 0/1 values: loose tolerance.
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("aggregate %s: view %v, exact %v", s.AggregateName(a), got, want)
+		}
+	}
+	grand, ok := v.GrandEstimate()
+	if !ok {
+		t.Fatal("grand estimate unavailable")
+	}
+	if math.Abs(grand-exact.GrandValue()) > 0.01 {
+		t.Errorf("grand view %v, exact %v", grand, exact.GrandValue())
+	}
+}
+
+func TestViewCountAndSumModes(t *testing.T) {
+	for _, fct := range []olap.AggFunc{olap.Count, olap.Sum} {
+		s := flightsSpace(t, fct)
+		exact, _ := olap.EvaluateSpace(s)
+		rng := rand.New(rand.NewSource(5))
+		v, err := BuildView(s, 256, rng)
+		if err != nil {
+			t.Fatalf("%v: BuildView: %v", fct, err)
+		}
+		for a := 0; a < s.Size(); a++ {
+			got, ok := v.Estimate(a, rng)
+			if !ok {
+				t.Fatalf("%v: estimate unavailable for %d", fct, a)
+			}
+			want := exact.Value(a)
+			// Counts are exact. Sums of a rare 0/1 measure carry reservoir
+			// noise of roughly count·sqrt(p/R) — a handful of cancellations
+			// per cell — so the check is statistical.
+			tol := math.Abs(want)*0.5 + 15
+			if fct == olap.Count {
+				tol = 0
+			}
+			if math.Abs(got-want) > tol {
+				t.Errorf("%v aggregate %d: view %v, exact %v", fct, a, got, want)
+			}
+		}
+		g, ok := v.GrandEstimate()
+		if !ok {
+			t.Fatalf("%v: grand unavailable", fct)
+		}
+		want := exact.GrandValue()
+		// 0/1 measures give reservoir means ~50% relative noise per cell;
+		// the weighted grand sum is within ~2 sigma of exact at 20%.
+		if math.Abs(g-want) > math.Abs(want)*0.2+1e-9 {
+			t.Errorf("%v grand: view %v, exact %v", fct, g, want)
+		}
+	}
+}
+
+func TestViewPickAggregate(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	rng := rand.New(rand.NewSource(6))
+	v, _ := BuildView(s, 8, rng)
+	for i := 0; i < 100; i++ {
+		a, ok := v.PickAggregate(rng)
+		if !ok {
+			t.Fatal("pick should succeed on a populated view")
+		}
+		if v.SampleSize(a) == 0 {
+			t.Fatal("average pick must have reservoir data")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package speech
+
+import (
+	"testing"
+
+	"repro/internal/dimension"
+)
+
+func TestDisjointScopesFiltering(t *testing.T) {
+	g := flightsGenerator(t)
+	g.DisjointScopes = true
+	all := g.Refinements(nil)
+	if len(all) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Take a refinement on a region; every remaining candidate must be
+	// scope-disjoint from it. A season predicate always overlaps a region
+	// predicate (their cross product is non-empty), so only other regions
+	// survive.
+	var regionRef *Refinement
+	for _, r := range all {
+		if r.Preds[0].Hierarchy().Name == "start airport" {
+			regionRef = r
+			break
+		}
+	}
+	if regionRef == nil {
+		t.Fatal("no region refinement")
+	}
+	rest := g.Refinements([]*Refinement{regionRef})
+	for _, r := range rest {
+		if r.Preds[0].Hierarchy().Name != "start airport" {
+			t.Fatalf("candidate %q overlaps the region scope", r.Text())
+		}
+		if r.Preds[0] == regionRef.Preds[0] {
+			t.Fatalf("candidate %q repeats the used scope", r.Text())
+		}
+	}
+	if len(rest) == 0 {
+		t.Error("sibling regions should remain available")
+	}
+}
+
+func TestDisjointScopesOffAllowsOverlap(t *testing.T) {
+	g := flightsGenerator(t)
+	all := g.Refinements(nil)
+	var regionRef *Refinement
+	for _, r := range all {
+		if r.Preds[0].Hierarchy().Name == "start airport" {
+			regionRef = r
+			break
+		}
+	}
+	rest := g.Refinements([]*Refinement{regionRef})
+	sawSeason := false
+	for _, r := range rest {
+		if r.Preds[0].Hierarchy().Name == "flight date" {
+			sawSeason = true
+		}
+	}
+	if !sawSeason {
+		t.Error("relative grammar should allow overlapping season refinements")
+	}
+}
+
+func TestOverlapsHelper(t *testing.T) {
+	g := flightsGenerator(t)
+	airport := g.Space.Dataset().HierarchyByName("start airport")
+	date := g.Space.Dataset().HierarchyByName("flight date")
+	ne := airport.FindMember("the North East")
+	mw := airport.FindMember("the Midwest")
+	winter := date.FindMember("Winter")
+	a := &Refinement{Preds: []*dimension.Member{ne}}
+	b := &Refinement{Preds: []*dimension.Member{mw}}
+	c := &Refinement{Preds: []*dimension.Member{winter}}
+	if g.overlaps(a, b) {
+		t.Error("sibling regions should be disjoint")
+	}
+	if !g.overlaps(a, c) {
+		t.Error("region and season scopes should overlap")
+	}
+	if !g.overlaps(a, a) {
+		t.Error("a scope overlaps itself")
+	}
+}

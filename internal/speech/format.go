@@ -1,0 +1,174 @@
+// Package speech implements the vocalization grammar of the paper
+// (Figure 1): a preamble summarizing the query, a baseline statement fixing
+// a typical aggregate value, and relative refinement statements scoped by
+// dimension predicates. It renders speeches to text, enforces the user
+// preference constraints (character and fragment limits), and enumerates
+// the candidate fragments that span the planner's search space.
+package speech
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// ValueFormat selects how aggregate values are rendered in speech.
+type ValueFormat int
+
+// Supported value formats.
+const (
+	// PercentFormat renders fractions as spoken percentages:
+	// 0.02 -> "two percent", 0.015 -> "one point five percent".
+	PercentFormat ValueFormat = iota
+	// ThousandsFormat renders large amounts in thousands: 90000 -> "90 K".
+	ThousandsFormat
+	// PlainFormat renders the rounded number in digits.
+	PlainFormat
+	// CountFormat renders counts in words: 5342 -> "five thousand",
+	// 1500000 -> "one point five million".
+	CountFormat
+)
+
+// String implements fmt.Stringer.
+func (f ValueFormat) String() string {
+	switch f {
+	case PercentFormat:
+		return "percent"
+	case ThousandsFormat:
+		return "thousands"
+	case PlainFormat:
+		return "plain"
+	case CountFormat:
+		return "count"
+	default:
+		return fmt.Sprintf("ValueFormat(%d)", int(f))
+	}
+}
+
+var onesWords = []string{
+	"zero", "one", "two", "three", "four", "five", "six", "seven", "eight",
+	"nine", "ten", "eleven", "twelve", "thirteen", "fourteen", "fifteen",
+	"sixteen", "seventeen", "eighteen", "nineteen",
+}
+
+var tensWords = []string{
+	"", "", "twenty", "thirty", "forty", "fifty", "sixty", "seventy",
+	"eighty", "ninety",
+}
+
+// spokenInt renders a non-negative integer below 1000 in words; larger
+// values fall back to digits.
+func spokenInt(n int) string {
+	switch {
+	case n < 0 || n >= 1000:
+		return strconv.Itoa(n)
+	case n < 20:
+		return onesWords[n]
+	case n < 100:
+		if n%10 == 0 {
+			return tensWords[n/10]
+		}
+		return tensWords[n/10] + " " + onesWords[n%10]
+	default:
+		s := onesWords[n/100] + " hundred"
+		if n%100 != 0 {
+			s += " " + spokenInt(n%100)
+		}
+		return s
+	}
+}
+
+// spokenDecimal renders a one-significant-digit decimal in words:
+// 1.5 -> "one point five", 0.5 -> "zero point five", 2 -> "two".
+func spokenDecimal(v float64) string {
+	rounded := stats.RoundSig(v, 2)
+	intPart := int(rounded)
+	frac := rounded - float64(intPart)
+	if frac < 1e-9 {
+		return spokenInt(intPart)
+	}
+	tenth := int(math.Round(frac * 10))
+	if tenth == 10 {
+		return spokenInt(intPart + 1)
+	}
+	return spokenInt(intPart) + " point " + spokenInt(tenth)
+}
+
+// FormatValue renders an aggregate value for speech at one significant
+// digit (two when the leading digit alone would hide the magnitude of a
+// small percentage, matching phrases like "one point five percent").
+func FormatValue(v float64, f ValueFormat) string {
+	if math.IsNaN(v) {
+		return "unknown"
+	}
+	switch f {
+	case PercentFormat:
+		pct := v * 100
+		r := stats.RoundSig(pct, 1)
+		// "one point five percent" style for small percentages whose
+		// second digit matters.
+		if pct < 10 {
+			r2 := stats.RoundSig(pct, 2)
+			if math.Abs(r2-r) > 1e-12 {
+				r = r2
+			}
+		}
+		if r < 0 {
+			return "minus " + spokenDecimal(-r) + " percent"
+		}
+		return spokenDecimal(r) + " percent"
+	case ThousandsFormat:
+		r := stats.RoundSig(v/1000, 2)
+		return strconv.FormatFloat(r, 'f', -1, 64) + " K"
+	case PlainFormat:
+		r := stats.RoundSig(v, 1)
+		return strconv.FormatFloat(r, 'f', -1, 64)
+	case CountFormat:
+		return spokenCount(v)
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+// magnitudeNames scale large spoken counts.
+var magnitudeNames = []struct {
+	value float64
+	name  string
+}{
+	{1e9, "billion"},
+	{1e6, "million"},
+	{1e3, "thousand"},
+}
+
+// spokenCount renders a count in words at up to two significant digits:
+// 5342 -> "five thousand", 1500000 -> "one point five million".
+func spokenCount(v float64) string {
+	if v < 0 {
+		return "minus " + spokenCount(-v)
+	}
+	r := stats.RoundSig(v, 2)
+	for _, m := range magnitudeNames {
+		if r >= m.value {
+			return spokenDecimal(r/m.value) + " " + m.name
+		}
+	}
+	return spokenInt(int(math.Round(r)))
+}
+
+// joinPhrases joins predicate phrases per the grammar:
+// one -> "a", two -> "a and b", more -> "a, b and c".
+func joinPhrases(parts []string) string {
+	switch len(parts) {
+	case 0:
+		return ""
+	case 1:
+		return parts[0]
+	case 2:
+		return parts[0] + " and " + parts[1]
+	default:
+		return strings.Join(parts[:len(parts)-1], ", ") + " and " + parts[len(parts)-1]
+	}
+}

@@ -1,0 +1,134 @@
+package speech
+
+import (
+	"testing"
+)
+
+func TestSpokenInt(t *testing.T) {
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "zero"}, {1, "one"}, {13, "thirteen"}, {20, "twenty"},
+		{21, "twenty one"}, {50, "fifty"}, {99, "ninety nine"},
+		{100, "one hundred"}, {205, "two hundred five"},
+		{1000, "1000"}, {-5, "-5"},
+	}
+	for _, c := range cases {
+		if got := spokenInt(c.n); got != c.want {
+			t.Errorf("spokenInt(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSpokenDecimal(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{2, "two"}, {1.5, "one point five"}, {0.5, "zero point five"},
+		{10, "ten"}, {2.0000001, "two"},
+	}
+	for _, c := range cases {
+		if got := spokenDecimal(c.v); got != c.want {
+			t.Errorf("spokenDecimal(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatValuePercent(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0.02, "two percent"},
+		{0.015, "one point five percent"},
+		{0.1, "ten percent"},
+		{0.5, "fifty percent"},
+		{0.001, "zero point one percent"},
+		{-0.02, "minus two percent"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v, PercentFormat); got != c.want {
+			t.Errorf("FormatValue(%v, percent) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatValueThousands(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{90000, "90 K"},
+		{85000, "85 K"},
+		{120000, "120 K"},
+		{66667, "67 K"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v, ThousandsFormat); got != c.want {
+			t.Errorf("FormatValue(%v, thousands) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFormatValuePlainAndSpecials(t *testing.T) {
+	if got := FormatValue(5342, PlainFormat); got != "5000" {
+		t.Errorf("plain = %q, want 5000", got)
+	}
+	if got := FormatValue(nan(), PercentFormat); got != "unknown" {
+		t.Errorf("NaN = %q, want unknown", got)
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+func TestJoinPhrases(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "b"}, "a and b"},
+		{[]string{"a", "b", "c"}, "a, b and c"},
+	}
+	for _, c := range cases {
+		if got := joinPhrases(c.in); got != c.want {
+			t.Errorf("joinPhrases(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatValueCount(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{5342, "five point three thousand"},
+		{5000, "five thousand"},
+		{1500000, "one point five million"},
+		{2000000000, "two billion"},
+		{42, "forty two"},
+		{0, "zero"},
+		{-5000, "minus five thousand"},
+		{999, "one thousand"}, // rounds to 1000 at two significant digits
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.v, CountFormat); got != c.want {
+			t.Errorf("FormatValue(%v, count) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueFormatString(t *testing.T) {
+	if PercentFormat.String() != "percent" || ThousandsFormat.String() != "thousands" || PlainFormat.String() != "plain" {
+		t.Error("ValueFormat strings wrong")
+	}
+	if ValueFormat(9).String() == "" {
+		t.Error("unknown format should render")
+	}
+}

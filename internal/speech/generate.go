@@ -1,0 +1,276 @@
+package speech
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+	"repro/internal/stats"
+)
+
+// DefaultPercents is the change-quantifier menu used for refinement
+// candidates; the paper's speeches quote 5, 50, 100 and 200 percent.
+var DefaultPercents = []int{5, 10, 20, 50, 100, 200}
+
+// DefaultBaselineMultipliers span the ladder of baseline value candidates
+// around a scale estimate.
+var DefaultBaselineMultipliers = []float64{0.25, 0.5, 0.75, 1, 1.25, 1.5, 2, 3}
+
+// Generator enumerates candidate speech fragments for a query (the SG.*
+// functions of the paper). Its output spans the planner's search space.
+type Generator struct {
+	// Space is the aggregate space of the query.
+	Space *olap.Space
+	// Prefs constrain candidate speeches.
+	Prefs Prefs
+	// Format selects value rendering for this query's measure.
+	Format ValueFormat
+	// Percents is the change-quantifier menu (DefaultPercents if nil).
+	Percents []int
+	// BaselineMultipliers scale the grand estimate into baseline value
+	// candidates (DefaultBaselineMultipliers if nil).
+	BaselineMultipliers []float64
+	// MaxPredsPerRefinement allows multi-predicate refinements when > 1.
+	// The default 1 keeps the branching factor (and thus the O(m^k) tree)
+	// small, as the paper's simplicity principle demands.
+	MaxPredsPerRefinement int
+	// MaxPredicates caps the number of predicate members considered for
+	// refinements. Dimensions with hundreds of leaf members (e.g. 320
+	// colleges) would otherwise blow up the branching factor m; keeping
+	// the coarsest members serves the grammar's abstraction goal. Zero
+	// means DefaultMaxPredicates.
+	MaxPredicates int
+	// DisjointScopes forbids refinements whose scopes overlap an earlier
+	// refinement's scope. This emulates a grammar with *absolute* instead
+	// of relative refinements (Example 3.2: after an absolute claim about
+	// the North East, no overlapping claim about salary ranges can follow
+	// without contradiction) and exists for the ablation benchmarks.
+	DisjointScopes bool
+
+	// menu caches the full candidate set; tree expansion filters it per
+	// node, sharing the (immutable) refinement structs across the tree.
+	menu []*Refinement
+}
+
+// NewGenerator returns a generator with the paper's default configuration.
+func NewGenerator(space *olap.Space, prefs Prefs, format ValueFormat) *Generator {
+	return &Generator{
+		Space:                 space,
+		Prefs:                 prefs,
+		Format:                format,
+		Percents:              DefaultPercents,
+		BaselineMultipliers:   DefaultBaselineMultipliers,
+		MaxPredsPerRefinement: 1,
+	}
+}
+
+// NewPreamble builds the preamble for the query (SG.preamble): the filter
+// scope per dimension of the dataset and the group-by level names.
+func (g *Generator) NewPreamble() *Preamble {
+	q := g.Space.Query()
+	d := g.Space.Dataset()
+	p := &Preamble{}
+	for _, h := range d.Hierarchies() {
+		m := q.FilterOn(h)
+		if m == nil {
+			m = h.Root()
+		}
+		p.ScopePhrases = append(p.ScopePhrases, h.Phrase(m))
+	}
+	for _, gb := range q.GroupBy {
+		p.LevelNames = append(p.LevelNames, gb.Hierarchy.LevelName(gb.Level))
+	}
+	return p
+}
+
+// BaselineCandidates returns baseline statements whose values ladder around
+// the scale estimate (typically a grand estimate from early samples, or the
+// exact grand value for the optimal baseline). Values are rounded to the
+// speech precision and deduplicated. A non-positive or NaN scale yields a
+// single zero-valued baseline.
+func (g *Generator) BaselineCandidates(scale float64) []*Baseline {
+	q := g.Space.Query()
+	name := q.ColDescription
+	if name == "" {
+		name = q.Fct.String() + " " + q.Col
+	}
+	mults := g.BaselineMultipliers
+	if mults == nil {
+		mults = DefaultBaselineMultipliers
+	}
+	if math.IsNaN(scale) || scale <= 0 {
+		return []*Baseline{{Value: 0, AggName: name, Format: g.Format}}
+	}
+	seen := make(map[float64]bool)
+	var values []float64
+	for _, m := range mults {
+		v := g.Prefs.RoundForSpeech(scale * m)
+		if !seen[v] {
+			seen[v] = true
+			values = append(values, v)
+		}
+	}
+	sort.Float64s(values)
+	out := make([]*Baseline, len(values))
+	for i, v := range values {
+		out[i] = &Baseline{Value: v, AggName: name, Format: g.Format}
+	}
+	return out
+}
+
+// DefaultMaxPredicates bounds the predicate menu; see MaxPredicates.
+const DefaultMaxPredicates = 48
+
+// predicates enumerates the admissible refinement predicates: members of
+// the group-by hierarchies at every level from 1 down to the group level,
+// restricted to the query's filter scope, excluding roots (a root predicate
+// would cover the whole result and carry no information) and excluding
+// members whose scope covers all aggregates. When the menu exceeds
+// MaxPredicates, coarse members win: levels are consumed round-robin
+// across dimensions from coarse to fine until the budget is spent.
+func (g *Generator) predicates() []*dimension.Member {
+	budget := g.MaxPredicates
+	if budget <= 0 {
+		budget = DefaultMaxPredicates
+	}
+	n := g.Space.Size()
+	q := g.Space.Query()
+	// byLevel[level-relative-depth][dim] keeps enumeration coarse-first.
+	type dimScope struct {
+		scope    *dimension.Member
+		maxLevel int
+	}
+	var scopes []dimScope
+	for _, gb := range q.GroupBy {
+		scope := gb.Hierarchy.Root()
+		if f := q.FilterOn(gb.Hierarchy); f != nil {
+			scope = f
+		}
+		scopes = append(scopes, dimScope{scope: scope, maxLevel: gb.Level})
+	}
+	var out []*dimension.Member
+	for depth := 1; ; depth++ {
+		progressed := false
+		for _, ds := range scopes {
+			level := ds.scope.Level + depth
+			if level > ds.maxLevel {
+				continue
+			}
+			progressed = true
+			for _, m := range ds.scope.DescendantsAt(level) {
+				sz := g.Space.ScopeSize([]*dimension.Member{m})
+				if sz > 0 && sz < n {
+					out = append(out, m)
+					if len(out) >= budget {
+						return out
+					}
+				}
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+// fullMenu builds (once) every admissible refinement candidate: predicate
+// combinations crossed with the change menu. The structs are shared across
+// all speeches derived from this generator, so their rendered text is
+// memoized exactly once.
+func (g *Generator) fullMenu() []*Refinement {
+	if g.menu != nil {
+		return g.menu
+	}
+	preds := g.predicates()
+	percents := g.Percents
+	if percents == nil {
+		percents = DefaultPercents
+	}
+	var out []*Refinement
+	emit := func(ps []*dimension.Member) {
+		m := g.Space.ScopeSize(ps)
+		if m == 0 || m >= g.Space.Size() {
+			return
+		}
+		for _, pct := range percents {
+			out = append(out, &Refinement{Preds: ps, Dir: Increase, Percent: pct, ScopeSize: m})
+			// "Values decrease by 100 percent" would claim zero (and
+			// beyond 100, negative) values; natural speech caps decreases
+			// below that.
+			if pct < 100 {
+				out = append(out, &Refinement{Preds: ps, Dir: Decrease, Percent: pct, ScopeSize: m})
+			}
+		}
+	}
+	for _, p := range preds {
+		emit([]*dimension.Member{p})
+	}
+	if g.MaxPredsPerRefinement > 1 {
+		for i, p := range preds {
+			for _, q := range preds[i+1:] {
+				if p.Hierarchy() == q.Hierarchy() {
+					continue
+				}
+				emit([]*dimension.Member{p, q})
+			}
+		}
+	}
+	g.menu = out
+	return out
+}
+
+// Refinements returns the candidate next refinements for a speech with the
+// given existing refinements (SG.Refinements): the full candidate menu
+// minus scopes already used. Validity against length constraints is
+// checked separately by the caller via Speech.Valid (ST.IsValid in the
+// paper's pseudo-code). The returned refinements are shared; callers must
+// not mutate them.
+func (g *Generator) Refinements(prev []*Refinement) []*Refinement {
+	menu := g.fullMenu()
+	if len(prev) == 0 {
+		return menu
+	}
+	out := make([]*Refinement, 0, len(menu))
+	for _, c := range menu {
+		used := false
+		for _, r := range prev {
+			if r.SameScope(c) {
+				used = true
+				break
+			}
+			if g.DisjointScopes && g.overlaps(r, c) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// overlaps reports whether two refinement scopes share any aggregate.
+func (g *Generator) overlaps(a, b *Refinement) bool {
+	union := make([]*dimension.Member, 0, len(a.Preds)+len(b.Preds))
+	union = append(union, a.Preds...)
+	union = append(union, b.Preds...)
+	return g.Space.ScopeSize(union) > 0
+}
+
+// BranchingFactor returns the maximum number of children any search node
+// can have (the constant m of the complexity analysis): the number of
+// distinct refinement candidates from an empty prefix.
+func (g *Generator) BranchingFactor() int {
+	return len(g.Refinements(nil))
+}
+
+// SpeechScale derives a robust positive scale from a grand estimate,
+// guarding against zero and NaN so baseline ladders stay well formed.
+func SpeechScale(grand float64) float64 {
+	if math.IsNaN(grand) || grand <= 0 {
+		return 0
+	}
+	return stats.RoundSig(grand, 2)
+}

@@ -1,0 +1,267 @@
+package speech
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dimension"
+)
+
+// testDims builds a pair of small hierarchies for grammar tests.
+func testDims(t *testing.T) (airport, date *dimension.Hierarchy) {
+	t.Helper()
+	airport = dimension.MustNewHierarchy("start airport", "city", "flights starting from", "any airport",
+		[]string{"region", "city"})
+	airport.MustAddPath("the North East", "Boston")
+	airport.MustAddPath("the North East", "New York City")
+	airport.MustAddPath("the Midwest", "Chicago")
+	date = dimension.MustNewHierarchy("flight date", "month", "flights scheduled in", "any date",
+		[]string{"season"})
+	date.MustAddPath("Winter")
+	date.MustAddPath("Summer")
+	return airport, date
+}
+
+func TestPreambleText(t *testing.T) {
+	p := &Preamble{
+		ScopePhrases: []string{"flights starting from any airport", "flights scheduled in any date"},
+		LevelNames:   []string{"region", "season"},
+	}
+	want := "Considering flights starting from any airport and flights scheduled in any date. " +
+		"Results are broken down by region and season."
+	if got := p.Text(); got != want {
+		t.Errorf("preamble = %q, want %q", got, want)
+	}
+	bare := &Preamble{ScopePhrases: []string{"x"}}
+	if got := bare.Text(); got != "Considering x." {
+		t.Errorf("bare preamble = %q", got)
+	}
+}
+
+func TestBaselineText(t *testing.T) {
+	b := &Baseline{Value: 0.02, AggName: "average cancellation probability", Format: PercentFormat}
+	want := "Around two percent is the average cancellation probability."
+	if got := b.Text(); got != want {
+		t.Errorf("baseline = %q, want %q", got, want)
+	}
+}
+
+func TestRefinementText(t *testing.T) {
+	airport, date := testDims(t)
+	ne := airport.FindMember("the North East")
+	winter := date.FindMember("Winter")
+	r := &Refinement{Preds: []*dimension.Member{ne}, Dir: Increase, Percent: 50}
+	want := "Values increase by 50 percent for flights starting from the North East."
+	if got := r.Text(); got != want {
+		t.Errorf("refinement = %q, want %q", got, want)
+	}
+	r2 := &Refinement{Preds: []*dimension.Member{ne, winter}, Dir: Decrease, Percent: 20}
+	want2 := "Values decrease by 20 percent for flights starting from the North East and flights scheduled in Winter."
+	if got := r2.Text(); got != want2 {
+		t.Errorf("two-pred refinement = %q, want %q", got, want2)
+	}
+}
+
+func TestSameScope(t *testing.T) {
+	airport, date := testDims(t)
+	ne := airport.FindMember("the North East")
+	mw := airport.FindMember("the Midwest")
+	winter := date.FindMember("Winter")
+	a := &Refinement{Preds: []*dimension.Member{ne, winter}}
+	b := &Refinement{Preds: []*dimension.Member{winter, ne}}
+	c := &Refinement{Preds: []*dimension.Member{mw, winter}}
+	d := &Refinement{Preds: []*dimension.Member{ne}}
+	if !a.SameScope(b) {
+		t.Error("scope should be order-insensitive")
+	}
+	if a.SameScope(c) || a.SameScope(d) {
+		t.Error("different scopes should not match")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	airport, date := testDims(t)
+	ne := airport.FindMember("the North East")
+	boston := airport.Leaf("Boston")
+	winter := date.FindMember("Winter")
+
+	region := &Refinement{Preds: []*dimension.Member{ne}}
+	city := &Refinement{Preds: []*dimension.Member{boston}}
+	cityWinter := &Refinement{Preds: []*dimension.Member{boston, winter}}
+	winterOnly := &Refinement{Preds: []*dimension.Member{winter}}
+
+	if !region.Subsumes(city) {
+		t.Error("region should subsume its city")
+	}
+	if city.Subsumes(region) {
+		t.Error("city should not subsume its region")
+	}
+	if !region.Subsumes(cityWinter) {
+		t.Error("region should subsume city+winter")
+	}
+	if !winterOnly.Subsumes(cityWinter) {
+		t.Error("winter should subsume city+winter")
+	}
+	if region.Subsumes(winterOnly) || winterOnly.Subsumes(region) {
+		t.Error("disjoint hierarchies should not subsume")
+	}
+	if !region.Subsumes(region) {
+		t.Error("a scope subsumes itself")
+	}
+}
+
+func TestSpeechTextAssembly(t *testing.T) {
+	airport, date := testDims(t)
+	ne := airport.FindMember("the North East")
+	winter := date.FindMember("Winter")
+	s := &Speech{
+		Preamble: &Preamble{ScopePhrases: []string{"flights starting from any airport"}},
+		Baseline: &Baseline{Value: 0.02, AggName: "average cancellation probability", Format: PercentFormat},
+		Refinements: []*Refinement{
+			{Preds: []*dimension.Member{ne}, Dir: Increase, Percent: 50},
+			{Preds: []*dimension.Member{winter}, Dir: Increase, Percent: 100},
+		},
+	}
+	txt := s.Text()
+	for _, frag := range []string{
+		"Considering flights starting from any airport.",
+		"Around two percent is the average cancellation probability.",
+		"Values increase by 50 percent for flights starting from the North East.",
+		"Values increase by 100 percent for flights scheduled in Winter.",
+	} {
+		if !strings.Contains(txt, frag) {
+			t.Errorf("speech missing %q:\n%s", frag, txt)
+		}
+	}
+	if s.NumFragments() != 3 {
+		t.Errorf("fragments = %d, want 3", s.NumFragments())
+	}
+	if got := s.LastSentence(); !strings.Contains(got, "Winter") {
+		t.Errorf("last sentence = %q", got)
+	}
+	// MainText must not include the preamble.
+	if strings.Contains(s.MainText(), "Considering") {
+		t.Error("MainText should exclude the preamble")
+	}
+}
+
+func TestSpeechLastSentenceFallbacks(t *testing.T) {
+	empty := &Speech{}
+	if empty.LastSentence() != "" {
+		t.Error("empty speech should have empty last sentence")
+	}
+	p := &Speech{Preamble: &Preamble{ScopePhrases: []string{"x"}}}
+	if p.LastSentence() != "Considering x." {
+		t.Error("preamble-only speech should speak the preamble")
+	}
+	b := &Speech{Baseline: &Baseline{Value: 1, AggName: "count", Format: PlainFormat}}
+	if !strings.Contains(b.LastSentence(), "count") {
+		t.Error("baseline-only speech should speak the baseline")
+	}
+	if b.Text() != b.MainText() {
+		t.Error("speech without preamble: Text == MainText")
+	}
+}
+
+func TestSpeechCloneIndependence(t *testing.T) {
+	airport, _ := testDims(t)
+	ne := airport.FindMember("the North East")
+	mw := airport.FindMember("the Midwest")
+	base := &Speech{Baseline: &Baseline{Value: 1, AggName: "x", Format: PlainFormat}}
+	a := base.Extend(&Refinement{Preds: []*dimension.Member{ne}, Dir: Increase, Percent: 5})
+	b := a.Extend(&Refinement{Preds: []*dimension.Member{mw}, Dir: Decrease, Percent: 10})
+	c := a.Extend(&Refinement{Preds: []*dimension.Member{mw}, Dir: Increase, Percent: 20})
+	if len(a.Refinements) != 1 || len(b.Refinements) != 2 || len(c.Refinements) != 2 {
+		t.Fatal("Extend should not share refinement slices")
+	}
+	if b.Refinements[1].Percent == c.Refinements[1].Percent {
+		t.Error("sibling extensions should not clobber each other")
+	}
+}
+
+func TestDeltasSemantics(t *testing.T) {
+	airport, date := testDims(t)
+	ne := airport.FindMember("the North East")
+	boston := airport.Leaf("Boston")
+	winter := date.FindMember("Winter")
+
+	s := &Speech{Baseline: &Baseline{Value: 100, AggName: "x", Format: PlainFormat}}
+	s = s.Extend(&Refinement{Preds: []*dimension.Member{ne}, Dir: Increase, Percent: 50, ScopeSize: 2})
+	s = s.Extend(&Refinement{Preds: []*dimension.Member{boston}, Dir: Increase, Percent: 10, ScopeSize: 1})
+	s = s.Extend(&Refinement{Preds: []*dimension.Member{winter}, Dir: Decrease, Percent: 20, ScopeSize: 3})
+
+	d := s.Deltas()
+	// First: 50% of baseline 100 = +50.
+	if d[0] != 50 {
+		t.Errorf("delta[0] = %v, want 50", d[0])
+	}
+	// Second: Boston is subsumed by NE, so reference is 100+50; +10% = +15.
+	if d[1] != 15 {
+		t.Errorf("delta[1] = %v, want 15", d[1])
+	}
+	// Third: Winter is not subsumed by either, reference is baseline; -20.
+	if d[2] != -20 {
+		t.Errorf("delta[2] = %v, want -20", d[2])
+	}
+}
+
+func TestDeltasWithoutBaseline(t *testing.T) {
+	airport, _ := testDims(t)
+	ne := airport.FindMember("the North East")
+	s := &Speech{Refinements: []*Refinement{{Preds: []*dimension.Member{ne}, Dir: Increase, Percent: 50}}}
+	if d := s.Deltas(); d[0] != 0 {
+		t.Error("no baseline: deltas are zero")
+	}
+}
+
+func TestSpeechValidity(t *testing.T) {
+	airport, date := testDims(t)
+	ne := airport.FindMember("the North East")
+	winter := date.FindMember("Winter")
+	prefs := Prefs{MaxChars: 300, MaxFragments: 2, SigDigits: 1}
+
+	s := &Speech{Baseline: &Baseline{Value: 0.02, AggName: "average cancellation probability", Format: PercentFormat}}
+	if !s.Valid(prefs) {
+		t.Error("baseline-only speech should be valid")
+	}
+	s = s.Extend(&Refinement{Preds: []*dimension.Member{ne}, Dir: Increase, Percent: 50})
+	s = s.Extend(&Refinement{Preds: []*dimension.Member{winter}, Dir: Increase, Percent: 100})
+	if !s.Valid(prefs) {
+		t.Errorf("two-refinement speech should be valid (len=%d)", len(s.MainText()))
+	}
+	over := s.Extend(&Refinement{Preds: []*dimension.Member{airport.FindMember("the Midwest")}, Dir: Decrease, Percent: 5})
+	if over.Valid(prefs) {
+		t.Error("three refinements should exceed the fragment limit")
+	}
+	// Duplicate scope.
+	dup := s.Clone()
+	dup.Refinements = append(dup.Refinements[:1:1], dup.Refinements[0])
+	if dup.Valid(prefs) {
+		t.Error("duplicate scope should be invalid")
+	}
+	// Character limit.
+	tight := Prefs{MaxChars: 40, MaxFragments: 5}
+	if s.Valid(tight) {
+		t.Error("long speech should violate a 40-char limit")
+	}
+}
+
+func TestPrefsRoundForSpeech(t *testing.T) {
+	p := Prefs{SigDigits: 1}
+	if got := p.RoundForSpeech(0.0182); got != 0.02 {
+		t.Errorf("round = %v, want 0.02", got)
+	}
+	p.SigDigits = 0
+	if got := p.RoundForSpeech(0.0182); got != 0.02 {
+		t.Errorf("round with digits=0 = %v, want 0.02", got)
+	}
+	if DefaultPrefs().MaxChars != 300 {
+		t.Error("default prefs should follow the paper's 300-char limit")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Increase.String() != "increase" || Decrease.String() != "decrease" {
+		t.Error("direction strings wrong")
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntropyUniformIsMax(t *testing.T) {
+	uniform := []float64{0.25, 0.25, 0.25, 0.25}
+	if got, want := Entropy(uniform), math.Log(4); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Entropy(uniform) = %v, want %v", got, want)
+	}
+	if got := NormalizedEntropy(uniform); math.Abs(got-1) > 1e-12 {
+		t.Errorf("NormalizedEntropy(uniform) = %v, want 1", got)
+	}
+}
+
+func TestEntropyDegenerate(t *testing.T) {
+	if Entropy([]float64{1, 0, 0}) != 0 {
+		t.Error("point mass should have zero entropy")
+	}
+	if Entropy(nil) != 0 {
+		t.Error("empty distribution should have zero entropy")
+	}
+	if Entropy([]float64{0, 0}) != 0 {
+		t.Error("all-zero vector should have zero entropy")
+	}
+	if NormalizedEntropy([]float64{5}) != 0 {
+		t.Error("length-1 vector should have zero normalized entropy")
+	}
+}
+
+func TestEntropyUnnormalizedInput(t *testing.T) {
+	a := Entropy([]float64{1, 1, 2})
+	b := Entropy([]float64{0.25, 0.25, 0.5})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("entropy should be scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestEntropyIgnoresNegatives(t *testing.T) {
+	a := Entropy([]float64{1, -5, 1})
+	b := Entropy([]float64{1, 0, 1})
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("negative entries should be ignored: %v vs %v", a, b)
+	}
+}
+
+// Property: normalized entropy is within [0,1] and maximized by uniformity.
+func TestNormalizedEntropyBoundsProperty(t *testing.T) {
+	f := func(seed []uint8) bool {
+		if len(seed) < 2 {
+			return true
+		}
+		p := make([]float64, len(seed))
+		for i, s := range seed {
+			p[i] = float64(s)
+		}
+		h := NormalizedEntropy(p)
+		uniform := make([]float64, len(seed))
+		for i := range uniform {
+			uniform[i] = 1
+		}
+		return h >= 0 && h <= 1+1e-12 && h <= NormalizedEntropy(uniform)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

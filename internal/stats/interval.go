@@ -1,0 +1,57 @@
+package stats
+
+import "math"
+
+// Interval is a closed confidence interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Center returns the interval midpoint.
+func (iv Interval) Center() float64 { return (iv.Lo + iv.Hi) / 2 }
+
+// Contains reports whether x lies in [Lo, Hi].
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x <= iv.Hi }
+
+// zScore returns the two-sided standard-normal critical value for the given
+// confidence level in (0, 1), e.g. 1.96 for 0.95.
+func zScore(confidence float64) float64 {
+	if confidence <= 0 || confidence >= 1 {
+		panic("stats: confidence level out of (0,1)")
+	}
+	std := Normal{Mu: 0, Sigma: 1}
+	return std.Quantile(1 - (1-confidence)/2)
+}
+
+// MeanConfidenceInterval returns a CLT-based confidence interval for the
+// population mean given the sample mean, sample standard deviation, and
+// sample size n. For n == 0 it returns a degenerate interval at the mean.
+func MeanConfidenceInterval(mean, stddev float64, n int64, confidence float64) Interval {
+	if n <= 0 {
+		return Interval{Lo: mean, Hi: mean}
+	}
+	half := zScore(confidence) * stddev / math.Sqrt(float64(n))
+	return Interval{Lo: mean - half, Hi: mean + half}
+}
+
+// ProportionConfidenceInterval returns a Wald interval for a proportion
+// estimated as successes/trials, clamped to [0, 1]. For trials == 0 it
+// returns the full [0, 1] interval.
+func ProportionConfidenceInterval(successes, trials int64, confidence float64) Interval {
+	if trials <= 0 {
+		return Interval{Lo: 0, Hi: 1}
+	}
+	p := float64(successes) / float64(trials)
+	half := zScore(confidence) * math.Sqrt(p*(1-p)/float64(trials))
+	lo, hi := p-half, p+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return Interval{Lo: lo, Hi: hi}
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 6}
+	if iv.Width() != 4 {
+		t.Errorf("width = %v, want 4", iv.Width())
+	}
+	if iv.Center() != 4 {
+		t.Errorf("center = %v, want 4", iv.Center())
+	}
+	if !iv.Contains(2) || !iv.Contains(6) || !iv.Contains(4) {
+		t.Error("closed interval should contain endpoints and center")
+	}
+	if iv.Contains(1.999) || iv.Contains(6.001) {
+		t.Error("interval should not contain outside points")
+	}
+}
+
+func TestMeanConfidenceInterval(t *testing.T) {
+	iv := MeanConfidenceInterval(10, 2, 100, 0.95)
+	wantHalf := 1.959963984540054 * 2 / 10
+	if math.Abs(iv.Center()-10) > 1e-9 {
+		t.Errorf("center = %v, want 10", iv.Center())
+	}
+	if math.Abs(iv.Width()/2-wantHalf) > 1e-6 {
+		t.Errorf("half width = %v, want %v", iv.Width()/2, wantHalf)
+	}
+}
+
+func TestMeanConfidenceIntervalZeroN(t *testing.T) {
+	iv := MeanConfidenceInterval(5, 3, 0, 0.95)
+	if iv.Lo != 5 || iv.Hi != 5 {
+		t.Errorf("expected degenerate interval at mean, got %+v", iv)
+	}
+}
+
+func TestMeanConfidenceIntervalShrinksWithN(t *testing.T) {
+	small := MeanConfidenceInterval(0, 1, 10, 0.95)
+	large := MeanConfidenceInterval(0, 1, 1000, 0.95)
+	if large.Width() >= small.Width() {
+		t.Error("interval should shrink as n grows")
+	}
+}
+
+func TestProportionConfidenceInterval(t *testing.T) {
+	iv := ProportionConfidenceInterval(0, 0, 0.95)
+	if iv.Lo != 0 || iv.Hi != 1 {
+		t.Errorf("zero trials should give [0,1], got %+v", iv)
+	}
+	iv = ProportionConfidenceInterval(50, 100, 0.95)
+	if !iv.Contains(0.5) {
+		t.Errorf("interval %+v should contain 0.5", iv)
+	}
+	if iv.Lo < 0 || iv.Hi > 1 {
+		t.Errorf("interval %+v should be clamped to [0,1]", iv)
+	}
+	// Extreme proportions clamp.
+	iv = ProportionConfidenceInterval(100, 100, 0.95)
+	if iv.Hi != 1 {
+		t.Errorf("hi = %v, want clamp at 1", iv.Hi)
+	}
+}
+
+func TestZScorePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for confidence=1")
+		}
+	}()
+	zScore(1)
+}

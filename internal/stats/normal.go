@@ -1,0 +1,75 @@
+// Package stats provides the small numerical toolkit the rest of the
+// system builds on: normal distributions, streaming moment accumulators,
+// entropy measures, and confidence intervals. The Go standard library has
+// no statistics package, so the pieces needed by the user belief model and
+// the sampling estimators are implemented here from scratch.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Normal is a normal (Gaussian) distribution with mean Mu and standard
+// deviation Sigma. Sigma must be positive for the density functions to be
+// well defined; constructors validate this.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// ErrBadSigma reports a non-positive standard deviation.
+var ErrBadSigma = errors.New("stats: standard deviation must be positive")
+
+// NewNormal returns a normal distribution with the given mean and standard
+// deviation. It returns ErrBadSigma if sigma <= 0 or either argument is NaN.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if math.IsNaN(mu) || math.IsNaN(sigma) || sigma <= 0 {
+		return Normal{}, fmt.Errorf("%w: sigma=%v", ErrBadSigma, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// PDF returns the probability density at x.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-n.Mu)/(n.Sigma*math.Sqrt2))
+}
+
+// Prob returns P(lo <= X < hi). It returns 0 when hi <= lo.
+func (n Normal) Prob(lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	p := n.CDF(hi) - n.CDF(lo)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Quantile returns the x such that CDF(x) = p for p in (0, 1).
+// It panics for p outside (0, 1).
+func (n Normal) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: quantile probability %v out of (0,1)", p))
+	}
+	return n.Mu - n.Sigma*math.Sqrt2*math.Erfinv(1-2*p)
+}
+
+// Sample draws one value from the distribution using rng.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// String implements fmt.Stringer.
+func (n Normal) String() string {
+	return fmt.Sprintf("N(%g, %g)", n.Mu, n.Sigma)
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalValidation(t *testing.T) {
+	if _, err := NewNormal(0, 0); err == nil {
+		t.Fatal("expected error for sigma=0")
+	}
+	if _, err := NewNormal(0, -1); err == nil {
+		t.Fatal("expected error for negative sigma")
+	}
+	if _, err := NewNormal(math.NaN(), 1); err == nil {
+		t.Fatal("expected error for NaN mean")
+	}
+	n, err := NewNormal(3, 2)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if n.Mu != 3 || n.Sigma != 2 {
+		t.Fatalf("got %v, want N(3, 2)", n)
+	}
+}
+
+func TestNormalPDFPeak(t *testing.T) {
+	n := Normal{Mu: 5, Sigma: 1}
+	want := 1 / math.Sqrt(2*math.Pi)
+	if got := n.PDF(5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PDF at mean = %v, want %v", got, want)
+	}
+	if n.PDF(4) != n.PDF(6) {
+		t.Error("PDF should be symmetric around the mean")
+	}
+	if n.PDF(5) <= n.PDF(6) {
+		t.Error("PDF should peak at the mean")
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	std := Normal{Mu: 0, Sigma: 1}
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+	}
+	for _, c := range cases {
+		if got := std.CDF(c.x); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("CDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalProb(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	if got := n.Prob(-1, 1); math.Abs(got-0.6826894921370859) > 1e-9 {
+		t.Errorf("Prob(-1,1) = %v, want ~0.6827", got)
+	}
+	if got := n.Prob(1, -1); got != 0 {
+		t.Errorf("Prob with hi<=lo = %v, want 0", got)
+	}
+	if got := n.Prob(2, 2); got != 0 {
+		t.Errorf("Prob of empty interval = %v, want 0", got)
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 3}
+	for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		x := n.Quantile(p)
+		if got := n.CDF(x); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=0")
+		}
+	}()
+	Normal{Mu: 0, Sigma: 1}.Quantile(0)
+}
+
+func TestNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := Normal{Mu: 7, Sigma: 2}
+	var acc Accumulator
+	for i := 0; i < 50000; i++ {
+		acc.Add(n.Sample(rng))
+	}
+	if math.Abs(acc.Mean()-7) > 0.05 {
+		t.Errorf("sample mean = %v, want ~7", acc.Mean())
+	}
+	if math.Abs(acc.StdDev()-2) > 0.05 {
+		t.Errorf("sample stddev = %v, want ~2", acc.StdDev())
+	}
+}
+
+// Property: CDF is monotone non-decreasing and bounded in [0,1].
+func TestNormalCDFMonotoneProperty(t *testing.T) {
+	f := func(mu float64, sigmaSeed float64, a, b float64) bool {
+		if math.Abs(mu) > 1e9 || math.Abs(a) > 1e9 || math.Abs(b) > 1e9 || math.Abs(sigmaSeed) > 1e9 {
+			return true
+		}
+		sigma := math.Abs(sigmaSeed) + 0.01
+		n := Normal{Mu: mu, Sigma: sigma}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cl, ch := n.CDF(lo), n.CDF(hi)
+		return cl <= ch+1e-12 && cl >= 0 && ch <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Prob(lo,hi) equals CDF(hi)-CDF(lo) and is within [0,1].
+func TestNormalProbConsistencyProperty(t *testing.T) {
+	f := func(mu, sigmaSeed, a, b float64) bool {
+		if math.Abs(mu) > 1e9 || math.Abs(a) > 1e9 || math.Abs(b) > 1e9 || math.Abs(sigmaSeed) > 1e9 {
+			return true
+		}
+		sigma := math.Abs(sigmaSeed) + 0.01
+		n := Normal{Mu: mu, Sigma: sigma}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		p := n.Prob(lo, hi)
+		return p >= 0 && p <= 1 && math.Abs(p-(n.CDF(hi)-n.CDF(lo))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundSig(t *testing.T) {
+	cases := []struct {
+		x      float64
+		digits int
+		want   float64
+	}{
+		{0.0182, 1, 0.02},
+		{0.0182, 2, 0.018},
+		{5342, 2, 5300},
+		{5342, 1, 5000},
+		{0.055, 1, 0.06},
+		{-0.0182, 1, -0.02},
+		{90000, 1, 90000},
+		{94999, 1, 90000},
+		{95001, 1, 100000},
+		{0, 3, 0},
+		{1.5, 2, 1.5},
+	}
+	for _, c := range cases {
+		if got := RoundSig(c.x, c.digits); math.Abs(got-c.want) > math.Abs(c.want)*1e-9+1e-15 {
+			t.Errorf("RoundSig(%v, %d) = %v, want %v", c.x, c.digits, got, c.want)
+		}
+	}
+}
+
+func TestRoundSigSpecials(t *testing.T) {
+	if !math.IsNaN(RoundSig(math.NaN(), 1)) {
+		t.Error("NaN should pass through")
+	}
+	if !math.IsInf(RoundSig(math.Inf(1), 1), 1) {
+		t.Error("Inf should pass through")
+	}
+	if got := RoundSig(123, 0); got != 100 {
+		t.Errorf("digits<1 should clamp to 1, got %v", got)
+	}
+}
+
+func TestSigBucket(t *testing.T) {
+	// 90 K at one significant digit buckets [85 K, 95 K) — the paper's
+	// Example 4.3 reward bucket.
+	iv := SigBucket(90000, 1)
+	if math.Abs(iv.Lo-85000) > 1e-6 || math.Abs(iv.Hi-95000) > 1e-6 {
+		t.Errorf("SigBucket(90000,1) = %+v, want [85000, 95000)", iv)
+	}
+	iv = SigBucket(0.02, 1)
+	if math.Abs(iv.Lo-0.015) > 1e-12 || math.Abs(iv.Hi-0.025) > 1e-12 {
+		t.Errorf("SigBucket(0.02,1) = %+v, want [0.015, 0.025)", iv)
+	}
+	iv = SigBucket(0, 1)
+	if iv.Lo != 0 || iv.Hi != 0 {
+		t.Errorf("SigBucket(0,1) = %+v, want degenerate", iv)
+	}
+}
+
+// Property: x always lies within its own significant-digit bucket
+// (up to the half-open boundary) and the bucket contains the rounded value.
+func TestSigBucketContainsProperty(t *testing.T) {
+	f := func(seed float64) bool {
+		x := seed
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 || math.Abs(x) > 1e15 || math.Abs(x) < 1e-15 {
+			return true
+		}
+		iv := SigBucket(x, 1)
+		r := RoundSig(x, 1)
+		return x >= iv.Lo-math.Abs(x)*1e-9 && x <= iv.Hi+math.Abs(x)*1e-9 && iv.Contains(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+}

@@ -1,0 +1,113 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Schema describes the expected columns when reading CSV data.
+type Schema struct {
+	Names []string
+	Types []ColumnType
+}
+
+// ReadCSV parses CSV data with a header row into a table. The header must
+// match schema.Names exactly (same order). Every data row must parse
+// according to schema.Types.
+func ReadCSV(name string, r io.Reader, schema Schema) (*Table, error) {
+	if len(schema.Names) != len(schema.Types) {
+		return nil, fmt.Errorf("table: schema has %d names but %d types", len(schema.Names), len(schema.Types))
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header: %w", err)
+	}
+	if len(header) != len(schema.Names) {
+		return nil, fmt.Errorf("table: CSV has %d columns, schema expects %d", len(header), len(schema.Names))
+	}
+	for i, want := range schema.Names {
+		if header[i] != want {
+			return nil, fmt.Errorf("table: CSV column %d is %q, schema expects %q", i, header[i], want)
+		}
+	}
+	cols := make([]Column, len(schema.Names))
+	for i := range cols {
+		switch schema.Types[i] {
+		case Float64Type:
+			cols[i] = NewFloat64Column(schema.Names[i])
+		case Int64Type:
+			cols[i] = NewInt64Column(schema.Names[i])
+		case StringType:
+			cols[i] = NewStringColumn(schema.Names[i])
+		default:
+			return nil, fmt.Errorf("table: unknown column type %v", schema.Types[i])
+		}
+	}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV line %d: %w", line+1, err)
+		}
+		line++
+		for i, raw := range rec {
+			if err := cols[i].appendParsed(raw); err != nil {
+				return nil, fmt.Errorf("table: CSV line %d: %w", line, err)
+			}
+		}
+	}
+	return New(name, cols...)
+}
+
+// ReadCSVFile opens path and calls ReadCSV.
+func ReadCSVFile(name, path string, schema Schema) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(name, f, schema)
+}
+
+// WriteCSV writes the table with a header row to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.columns))
+	for i, c := range t.columns {
+		header[i] = c.Name()
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("table: writing CSV header: %w", err)
+	}
+	rec := make([]string, len(t.columns))
+	for row := 0; row < t.NumRows(); row++ {
+		for i, c := range t.columns {
+			rec[i] = c.StringAt(row)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: writing CSV row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile creates path and writes the table to it.
+func (t *Table) WriteCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	if err := t.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,126 @@
+package table
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var testSchema = Schema{
+	Names: []string{"region", "salary", "year"},
+	Types: []ColumnType{StringType, Float64Type, Int64Type},
+}
+
+const testCSV = `region,salary,year
+Northeast,80000,2014
+Midwest,60000,2015
+West,70500.5,2014
+`
+
+func TestReadCSV(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader(testCSV), testSchema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if tab.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", tab.NumRows())
+	}
+	sc, _ := tab.StringColumn("region")
+	if sc.StringAt(2) != "West" {
+		t.Errorf("region[2] = %q", sc.StringAt(2))
+	}
+	fc, _ := tab.Float64Column("salary")
+	if fc.Float(2) != 70500.5 {
+		t.Errorf("salary[2] = %v", fc.Float(2))
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	// Schema mismatch: wrong header name.
+	bad := "wrong,salary,year\na,1,2\n"
+	if _, err := ReadCSV("t", strings.NewReader(bad), testSchema); err == nil {
+		t.Error("expected header mismatch error")
+	}
+	// Wrong column count.
+	bad = "region,salary\na,1\n"
+	if _, err := ReadCSV("t", strings.NewReader(bad), testSchema); err == nil {
+		t.Error("expected column count error")
+	}
+	// Unparseable float.
+	bad = "region,salary,year\na,notanumber,2\n"
+	if _, err := ReadCSV("t", strings.NewReader(bad), testSchema); err == nil {
+		t.Error("expected parse error")
+	}
+	// Ragged schema.
+	rag := Schema{Names: []string{"a"}, Types: nil}
+	if _, err := ReadCSV("t", strings.NewReader("a\n"), rag); err == nil {
+		t.Error("expected schema arity error")
+	}
+	// Empty input (no header).
+	if _, err := ReadCSV("t", strings.NewReader(""), testSchema); err == nil {
+		t.Error("expected header read error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab, err := ReadCSV("t", strings.NewReader(testCSV), testSchema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV("t2", strings.NewReader(buf.String()), testSchema)
+	if err != nil {
+		t.Fatalf("ReadCSV round trip: %v", err)
+	}
+	if back.NumRows() != tab.NumRows() {
+		t.Fatalf("round trip rows = %d, want %d", back.NumRows(), tab.NumRows())
+	}
+	for r := 0; r < tab.NumRows(); r++ {
+		for _, name := range testSchema.Names {
+			a := tab.Column(name).StringAt(r)
+			b := back.Column(name).StringAt(r)
+			if a != b {
+				t.Errorf("row %d column %s: %q != %q", r, name, a, b)
+			}
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	tab, err := ReadCSV("t", strings.NewReader(testCSV), testSchema)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatalf("WriteCSVFile: %v", err)
+	}
+	back, err := ReadCSVFile("t2", path, testSchema)
+	if err != nil {
+		t.Fatalf("ReadCSVFile: %v", err)
+	}
+	if back.NumRows() != 3 {
+		t.Errorf("rows = %d, want 3", back.NumRows())
+	}
+	if _, err := ReadCSVFile("t3", filepath.Join(dir, "missing.csv"), testSchema); !os.IsNotExist(underlying(err)) {
+		// Opening a missing file should surface the os error.
+		if err == nil {
+			t.Error("expected error for missing file")
+		}
+	}
+}
+
+// underlying unwraps one level of wrapping for os error checks.
+func underlying(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	if u, ok := err.(unwrapper); ok {
+		return u.Unwrap()
+	}
+	return err
+}

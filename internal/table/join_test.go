@@ -1,0 +1,122 @@
+package table
+
+import (
+	"testing"
+)
+
+// starFixture builds a tiny star schema: a fact table with a foreign key
+// into an airport dimension table.
+func starFixture(t *testing.T) (fact *Table, fk *Int64Column, city *StringColumn) {
+	t.Helper()
+	// Dimension table rows: 0=BOS/Boston, 1=JFK/New York, 2=ORD/Chicago.
+	city = NewStringColumn("city")
+	for _, c := range []string{"Boston", "New York", "Chicago"} {
+		city.Append(c)
+	}
+	fk = NewInt64Column("airportID")
+	measure := NewFloat64Column("cancelled")
+	for _, row := range []struct {
+		id        int64
+		cancelled float64
+	}{
+		{0, 1}, {2, 0}, {1, 0}, {0, 0}, {2, 1},
+	} {
+		fk.Append(row.id)
+		measure.Append(row.cancelled)
+	}
+	fact = MustNew("flights", fk, measure)
+	return fact, fk, city
+}
+
+func TestJoinColumnBasics(t *testing.T) {
+	fact, fk, city := starFixture(t)
+	j, err := NewJoinColumn("city", fk, city)
+	if err != nil {
+		t.Fatalf("NewJoinColumn: %v", err)
+	}
+	if j.Name() != "city" {
+		t.Errorf("name = %q", j.Name())
+	}
+	if j.Len() != fact.NumRows() {
+		t.Errorf("len = %d, want %d", j.Len(), fact.NumRows())
+	}
+	want := []string{"Boston", "Chicago", "New York", "Boston", "Chicago"}
+	for i, w := range want {
+		if got := j.StringAt(i); got != w {
+			t.Errorf("row %d = %q, want %q", i, got, w)
+		}
+	}
+	// Codes follow the dimension attribute's dictionary.
+	if j.Code(0) != j.Code(3) {
+		t.Error("equal values should share codes")
+	}
+	if len(j.Dict()) != 3 {
+		t.Errorf("dict = %d entries", len(j.Dict()))
+	}
+}
+
+func TestJoinColumnValidation(t *testing.T) {
+	_, fk, city := starFixture(t)
+	if _, err := NewJoinColumn("x", nil, city); err == nil {
+		t.Error("nil fact column should fail")
+	}
+	if _, err := NewJoinColumn("x", fk, nil); err == nil {
+		t.Error("nil dimension column should fail")
+	}
+	// Out-of-range foreign key.
+	bad := NewInt64Column("airportID")
+	bad.Append(99)
+	if _, err := NewJoinColumn("x", bad, city); err == nil {
+		t.Error("out-of-range FK should fail")
+	}
+	neg := NewInt64Column("airportID")
+	neg.Append(-1)
+	if _, err := NewJoinColumn("x", neg, city); err == nil {
+		t.Error("negative FK should fail")
+	}
+}
+
+func TestTableVirtualAccessors(t *testing.T) {
+	fact, fk, city := starFixture(t)
+	j, err := NewJoinColumn("city", fk, city)
+	if err != nil {
+		t.Fatalf("NewJoinColumn: %v", err)
+	}
+	if err := fact.AddVirtual(j); err != nil {
+		t.Fatalf("AddVirtual: %v", err)
+	}
+	acc, err := fact.Accessor("city")
+	if err != nil {
+		t.Fatalf("Accessor: %v", err)
+	}
+	if acc.StringAt(0) != "Boston" {
+		t.Errorf("virtual access = %q", acc.StringAt(0))
+	}
+	// Duplicates and collisions rejected.
+	if err := fact.AddVirtual(j); err == nil {
+		t.Error("duplicate virtual should fail")
+	}
+	collide, _ := NewJoinColumn("airportID", fk, city)
+	if err := fact.AddVirtual(collide); err == nil {
+		t.Error("virtual colliding with a column should fail")
+	}
+	// Wrong length.
+	shortFK := NewInt64Column("f")
+	shortFK.Append(0)
+	shortJoin, _ := NewJoinColumn("short", shortFK, city)
+	if err := fact.AddVirtual(shortJoin); err == nil {
+		t.Error("ragged virtual should fail")
+	}
+}
+
+func TestAccessorResolution(t *testing.T) {
+	fact, _, _ := starFixture(t)
+	// Unknown name.
+	if _, err := fact.Accessor("ghost"); err == nil {
+		t.Error("unknown accessor should fail")
+	}
+	// Non-string stored column.
+	if _, err := fact.Accessor("cancelled"); err == nil {
+		t.Error("float column should not resolve as string accessor")
+	}
+}

@@ -1,0 +1,104 @@
+package table
+
+import (
+	"math/rand"
+)
+
+// Scanner produces a stream of row indices from a table. Next returns the
+// next row index and true, or 0 and false when the stream is exhausted.
+type Scanner interface {
+	Next() (row int, ok bool)
+	// Reset restarts the stream from the beginning.
+	Reset()
+}
+
+// SequentialScanner yields rows 0..n-1 in order.
+type SequentialScanner struct {
+	n, pos int
+}
+
+// NewSequentialScanner scans the table front to back.
+func NewSequentialScanner(t *Table) *SequentialScanner {
+	return &SequentialScanner{n: t.NumRows()}
+}
+
+// Next implements Scanner.
+func (s *SequentialScanner) Next() (int, bool) {
+	if s.pos >= s.n {
+		return 0, false
+	}
+	r := s.pos
+	s.pos++
+	return r, true
+}
+
+// Reset implements Scanner.
+func (s *SequentialScanner) Reset() { s.pos = 0 }
+
+// RandomScanner yields every row exactly once in a pseudo-random order using
+// O(1) memory: it walks a full-cycle affine sequence i -> (i*stride + offset)
+// mod n where gcd(stride, n) == 1. That gives the sample cache an unbiased
+// row stream over arbitrarily large tables without materializing a
+// permutation.
+type RandomScanner struct {
+	n       int
+	stride  int
+	offset  int
+	emitted int
+	cur     int
+}
+
+// NewRandomScanner returns a scanner over all rows of t in pseudo-random
+// order derived from rng. An empty table yields an exhausted scanner.
+func NewRandomScanner(t *Table, rng *rand.Rand) *RandomScanner {
+	n := t.NumRows()
+	s := &RandomScanner{n: n}
+	if n == 0 {
+		return s
+	}
+	s.offset = rng.Intn(n)
+	s.stride = coprimeStride(n, rng)
+	s.cur = s.offset
+	return s
+}
+
+// coprimeStride picks a stride in [1, n) coprime with n so the affine walk
+// visits every row exactly once.
+func coprimeStride(n int, rng *rand.Rand) int {
+	if n == 1 {
+		return 1
+	}
+	for {
+		c := 1 + rng.Intn(n-1)
+		if gcd(c, n) == 1 {
+			return c
+		}
+	}
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Next implements Scanner.
+func (s *RandomScanner) Next() (int, bool) {
+	if s.emitted >= s.n {
+		return 0, false
+	}
+	r := s.cur
+	s.cur = (s.cur + s.stride) % s.n
+	s.emitted++
+	return r, true
+}
+
+// Reset implements Scanner. The same pseudo-random order is replayed.
+func (s *RandomScanner) Reset() {
+	s.emitted = 0
+	s.cur = s.offset
+}
+
+// Remaining returns how many rows are left in the stream.
+func (s *RandomScanner) Remaining() int { return s.n - s.emitted }

@@ -1,0 +1,166 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tableWithNRows(n int) *Table {
+	c := NewFloat64Column("v")
+	for i := 0; i < n; i++ {
+		c.Append(float64(i))
+	}
+	return MustNew("t", c)
+}
+
+func TestSequentialScanner(t *testing.T) {
+	s := NewSequentialScanner(tableWithNRows(3))
+	var got []int
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("sequential scan = %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted scanner should stay exhausted")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r != 0 {
+		t.Error("reset should restart the stream")
+	}
+}
+
+func TestSequentialScannerEmpty(t *testing.T) {
+	s := NewSequentialScanner(tableWithNRows(0))
+	if _, ok := s.Next(); ok {
+		t.Error("empty table scan should be exhausted immediately")
+	}
+}
+
+func TestRandomScannerCoversAllRows(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := NewRandomScanner(tableWithNRows(n), rng)
+		seen := make([]bool, n)
+		count := 0
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			if r < 0 || r >= n {
+				t.Fatalf("n=%d: row %d out of range", n, r)
+			}
+			if seen[r] {
+				t.Fatalf("n=%d: row %d emitted twice", n, r)
+			}
+			seen[r] = true
+			count++
+		}
+		if count != n {
+			t.Errorf("n=%d: emitted %d rows", n, count)
+		}
+	}
+}
+
+func TestRandomScannerEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewRandomScanner(tableWithNRows(0), rng)
+	if _, ok := s.Next(); ok {
+		t.Error("empty random scan should be exhausted")
+	}
+}
+
+func TestRandomScannerResetReplaysOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewRandomScanner(tableWithNRows(20), rng)
+	var first []int
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		first = append(first, r)
+	}
+	s.Reset()
+	for i := range first {
+		r, ok := s.Next()
+		if !ok || r != first[i] {
+			t.Fatal("reset should replay the same order")
+		}
+	}
+}
+
+func TestRandomScannerRemaining(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := NewRandomScanner(tableWithNRows(5), rng)
+	if s.Remaining() != 5 {
+		t.Errorf("remaining = %d, want 5", s.Remaining())
+	}
+	s.Next()
+	s.Next()
+	if s.Remaining() != 3 {
+		t.Errorf("remaining = %d, want 3", s.Remaining())
+	}
+}
+
+func TestRandomScannerNotSequentialForLargeN(t *testing.T) {
+	// With 1000 rows, the probability that a random affine order equals the
+	// sequential order is negligible unless stride==1 and offset==0; detect
+	// obviously broken shuffling.
+	rng := rand.New(rand.NewSource(99))
+	s := NewRandomScanner(tableWithNRows(1000), rng)
+	inOrder := true
+	prev := -1
+	for i := 0; i < 10; i++ {
+		r, _ := s.Next()
+		if r != prev+1 {
+			inOrder = false
+		}
+		prev = r
+	}
+	if inOrder {
+		t.Error("random scan looks sequential")
+	}
+}
+
+// Property: the random scanner is a permutation for any n >= 1.
+func TestRandomScannerPermutationProperty(t *testing.T) {
+	f := func(seed int64, nSeed uint16) bool {
+		n := int(nSeed)%500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := NewRandomScanner(tableWithNRows(n), rng)
+		seen := make(map[int]bool, n)
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{12, 8, 4}, {7, 13, 1}, {10, 5, 5}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := gcd(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Table is a named collection of equally sized columns, plus optional
+// virtual string accessors (star-schema join views) that behave like
+// dictionary-encoded columns for row classification but are not stored.
+type Table struct {
+	name     string
+	columns  []Column
+	byName   map[string]int
+	virtuals map[string]StringAccessor
+}
+
+// ErrRaggedColumns reports columns of unequal length.
+var ErrRaggedColumns = errors.New("table: columns have unequal lengths")
+
+// New returns a table with the given name and columns. All columns must have
+// distinct names and equal lengths.
+func New(name string, cols ...Column) (*Table, error) {
+	t := &Table{name: name, byName: make(map[string]int, len(cols))}
+	for _, c := range cols {
+		if err := t.AddColumn(c); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MustNew is like New but panics on error; intended for tests and
+// programmatically constructed schemas that cannot collide.
+func MustNew(name string, cols ...Column) *Table {
+	t, err := New(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// AddColumn appends a column to the table. The column must be as long as the
+// existing columns and its name must be unused.
+func (t *Table) AddColumn(c Column) error {
+	if _, dup := t.byName[c.Name()]; dup {
+		return fmt.Errorf("table %q: duplicate column %q", t.name, c.Name())
+	}
+	if len(t.columns) > 0 && c.Len() != t.columns[0].Len() {
+		return fmt.Errorf("%w: table %q column %q has %d rows, want %d",
+			ErrRaggedColumns, t.name, c.Name(), c.Len(), t.columns[0].Len())
+	}
+	t.byName[c.Name()] = len(t.columns)
+	t.columns = append(t.columns, c)
+	return nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int {
+	if len(t.columns) == 0 {
+		return 0
+	}
+	return t.columns[0].Len()
+}
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.columns) }
+
+// Columns returns the columns in declaration order.
+func (t *Table) Columns() []Column { return t.columns }
+
+// Column returns the column with the given name, or nil if absent.
+func (t *Table) Column(name string) Column {
+	if i, ok := t.byName[name]; ok {
+		return t.columns[i]
+	}
+	return nil
+}
+
+// Float64Column returns the named column as *Float64Column.
+func (t *Table) Float64Column(name string) (*Float64Column, error) {
+	c := t.Column(name)
+	if c == nil {
+		return nil, fmt.Errorf("table %q: no column %q", t.name, name)
+	}
+	fc, ok := c.(*Float64Column)
+	if !ok {
+		return nil, fmt.Errorf("table %q: column %q is %v, want float64", t.name, name, c.Type())
+	}
+	return fc, nil
+}
+
+// AddVirtual registers a virtual string accessor (e.g. a star-schema
+// JoinColumn) under its name. The accessor must be as long as the table
+// and must not collide with an existing column or virtual.
+func (t *Table) AddVirtual(acc StringAccessor) error {
+	if acc.Len() != t.NumRows() {
+		return fmt.Errorf("%w: table %q virtual %q has %d rows, want %d",
+			ErrRaggedColumns, t.name, acc.Name(), acc.Len(), t.NumRows())
+	}
+	if _, dup := t.byName[acc.Name()]; dup {
+		return fmt.Errorf("table %q: virtual %q collides with a column", t.name, acc.Name())
+	}
+	if _, dup := t.virtuals[acc.Name()]; dup {
+		return fmt.Errorf("table %q: duplicate virtual %q", t.name, acc.Name())
+	}
+	if t.virtuals == nil {
+		t.virtuals = make(map[string]StringAccessor)
+	}
+	t.virtuals[acc.Name()] = acc
+	return nil
+}
+
+// Accessor returns the string accessor with the given name: a stored
+// string column if one exists, else a registered virtual.
+func (t *Table) Accessor(name string) (StringAccessor, error) {
+	if c := t.Column(name); c != nil {
+		if sc, ok := c.(*StringColumn); ok {
+			return sc, nil
+		}
+		return nil, fmt.Errorf("table %q: column %q is %v, want string", t.name, name, c.Type())
+	}
+	if acc, ok := t.virtuals[name]; ok {
+		return acc, nil
+	}
+	return nil, fmt.Errorf("table %q: no string column or virtual %q", t.name, name)
+}
+
+// StringColumn returns the named column as *StringColumn.
+func (t *Table) StringColumn(name string) (*StringColumn, error) {
+	c := t.Column(name)
+	if c == nil {
+		return nil, fmt.Errorf("table %q: no column %q", t.name, name)
+	}
+	sc, ok := c.(*StringColumn)
+	if !ok {
+		return nil, fmt.Errorf("table %q: column %q is %v, want string", t.name, name, c.Type())
+	}
+	return sc, nil
+}
+
+// Validate checks that all columns have equal lengths.
+func (t *Table) Validate() error {
+	if len(t.columns) == 0 {
+		return nil
+	}
+	n := t.columns[0].Len()
+	for _, c := range t.columns[1:] {
+		if c.Len() != n {
+			return fmt.Errorf("%w: table %q column %q has %d rows, want %d",
+				ErrRaggedColumns, t.name, c.Name(), c.Len(), n)
+		}
+	}
+	return nil
+}
+
+// ApproxBytes estimates the in-memory footprint of the table payload,
+// used to report dataset sizes (Table 11 of the paper).
+func (t *Table) ApproxBytes() int64 {
+	var total int64
+	for _, c := range t.columns {
+		switch col := c.(type) {
+		case *Float64Column:
+			total += int64(col.Len()) * 8
+		case *Int64Column:
+			total += int64(col.Len()) * 8
+		case *StringColumn:
+			total += int64(col.Len()) * 4
+			for _, s := range col.Dict() {
+				total += int64(len(s))
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,209 @@
+// Package userstudy simulates the paper's three crowd studies. The paper
+// validated its user model with AMT workers; this reproduction replaces
+// them with synthetic respondents drawn from the same behavioral
+// hypotheses plus empirically shaped noise (including the documented
+// "increase TO x percent" misreading), so the published tables' shapes —
+// consistency counts, estimation errors, tendency accuracy, preference
+// distributions, and speech-length statistics — regenerate without human
+// subjects. DESIGN.md records this substitution.
+package userstudy
+
+import (
+	"math/rand"
+)
+
+// PilotQuestion is one question of the implicit-assumptions pilot study
+// (Table 10), with the empirical answer distribution observed on AMT and
+// the options consistent with the tested hypothesis.
+type PilotQuestion struct {
+	// Aspect is the model aspect the question tests.
+	Aspect string
+	// Question is the text shown to workers.
+	Question string
+	// Answers are the three options.
+	Answers [3]string
+	// Consistent marks options consistent with the hypothesis.
+	Consistent [3]bool
+	// PaperReplies is the observed reply distribution (out of 20).
+	PaperReplies [3]int
+}
+
+// PilotQuestions reproduces Table 10 verbatim: the questions, options,
+// consistency marking, and the observed reply counts that calibrate the
+// simulated respondents.
+var PilotQuestions = []PilotQuestion{
+	{
+		Aspect:   "Symmetry",
+		Question: "Assume the typical salary is $10. Which of the following options seems most likely to you?",
+		Answers: [3]string{
+			"Most people get more than $10 salary",
+			"About half the people get less and half the people get more than $10 salary",
+			"Most people get less than $10 salary",
+		},
+		Consistent:   [3]bool{false, true, false},
+		PaperReplies: [3]int{3, 15, 2},
+	},
+	{
+		Aspect:   "Concentration",
+		Question: "Assume the typical salary is $10. Which of the following options seems most likely to you?",
+		Answers: [3]string{
+			"A salary between $10 to $15 is more likely than one between $15 and $20",
+			"A salary between $10 to $15 is equally likely as one between $15 and $20",
+			"A salary between $15 and $20 is more likely than one between $10 and $15",
+		},
+		Consistent:   [3]bool{true, false, false},
+		PaperReplies: [3]int{15, 4, 1},
+	},
+	{
+		Aspect:   "Concentration",
+		Question: "Again, assume the typical salary is $10. Which of the following options seems most likely to you?",
+		Answers: [3]string{
+			"A salary between $5 to $10 is more likely than a salary between $1 to $5",
+			"A salary between $1 to $5 is equally likely as a salary between $5 and $10",
+			"A salary between $1 to $5 is more likely than a salary between $5 to $10",
+		},
+		Consistent:   [3]bool{true, false, false},
+		PaperReplies: [3]int{13, 5, 2},
+	},
+	{
+		Aspect:   "Variance",
+		Question: "Assuming the typical salary is $10. Which percentage of people are paid more than $15?",
+		Answers: [3]string{
+			"Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%",
+		},
+		Consistent:   [3]bool{true, true, false},
+		PaperReplies: [3]int{11, 8, 1},
+	},
+	{
+		Aspect:   "Variance",
+		Question: "Assuming the typical salary is $10. Which percentage of people are paid less than $5?",
+		Answers: [3]string{
+			"Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%",
+		},
+		Consistent:   [3]bool{true, true, false},
+		PaperReplies: [3]int{17, 3, 0},
+	},
+	{
+		Aspect:   "Variance",
+		Question: "Assume the typical salary is $100. Which percentage of people are paid more than $150?",
+		Answers: [3]string{
+			"Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%",
+		},
+		Consistent:   [3]bool{true, true, false},
+		PaperReplies: [3]int{11, 7, 2},
+	},
+	{
+		Aspect:   "Variance",
+		Question: "Again, assume the typical salary is $100. Which percentage of people are paid less than $50?",
+		Answers: [3]string{
+			"Between 0% and 20%", "Between 20% and 40%", "Between 40% and 60%",
+		},
+		Consistent:   [3]bool{true, true, false},
+		PaperReplies: [3]int{10, 7, 3},
+	},
+	{
+		Aspect:   "Uniformity",
+		Question: "Assume the average salary over cities A and B is $10. Without further information, what do you assume about the salary distribution?",
+		Answers: [3]string{
+			"The salary in city A is higher",
+			"The salary in city A is about the same as in city B",
+			"The salary in city B is higher",
+		},
+		Consistent:   [3]bool{false, true, false},
+		PaperReplies: [3]int{4, 15, 1},
+	},
+	{
+		Aspect:   "Composition",
+		Question: "Salary doubles for profession A compared to the average. It also doubles when living in city B. What is your salary estimate for a person with profession A living in city B?",
+		Answers: [3]string{
+			"The same as average", "Two times higher than average", "Four times higher than average",
+		},
+		// Composing two doublings multiplicatively yields four times.
+		Consistent:   [3]bool{false, false, true},
+		PaperReplies: [3]int{4, 9, 7},
+	},
+	{
+		Aspect:   "Composition",
+		Question: "Salary halves for profession A compared to the average. It doubles when living in city B. What is your salary estimate for a person with profession A living in city B?",
+		Answers: [3]string{
+			"The same as average", "Two times higher than average", "Four times higher than average",
+		},
+		// Halving then doubling composes back to the average.
+		Consistent:   [3]bool{true, false, false},
+		PaperReplies: [3]int{14, 3, 3},
+	},
+}
+
+// PilotConfig parameterizes the simulated pilot study.
+type PilotConfig struct {
+	// Workers is the number of simulated crowd workers (paper: 20).
+	Workers int
+	// Seed drives the respondent simulation.
+	Seed int64
+}
+
+// AspectCount aggregates consistent and inconsistent replies per aspect.
+type AspectCount struct {
+	Consistent   int
+	Inconsistent int
+}
+
+// PilotResult reports the simulated study.
+type PilotResult struct {
+	// Replies holds the per-question reply counts.
+	Replies [][3]int
+	// PerAspect aggregates Table 2: consistent/inconsistent per aspect.
+	PerAspect map[string]AspectCount
+}
+
+// AspectOrder is the presentation order of Table 2. The paper groups the
+// four variance questions as the normal-distribution row.
+var AspectOrder = []string{"Symmetry", "Concentration", "Composition", "Uniformity", "Variance"}
+
+// PaperTable2 holds the published aggregate counts for comparison.
+var PaperTable2 = map[string]AspectCount{
+	"Symmetry":      {15, 5},
+	"Concentration": {28, 12},
+	"Composition":   {21, 19},
+	"Uniformity":    {15, 5},
+	"Variance":      {74, 6},
+}
+
+// RunPilot simulates crowd workers answering the pilot questions. Each
+// worker draws each answer from the question's empirical reply
+// distribution — the respondents embody the same mixture of model-
+// consistent and deviating behavior the paper observed.
+func RunPilot(cfg PilotConfig) PilotResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := PilotResult{
+		Replies:   make([][3]int, len(PilotQuestions)),
+		PerAspect: make(map[string]AspectCount),
+	}
+	for qi, q := range PilotQuestions {
+		total := q.PaperReplies[0] + q.PaperReplies[1] + q.PaperReplies[2]
+		for w := 0; w < cfg.Workers; w++ {
+			r := rng.Intn(total)
+			var pick int
+			switch {
+			case r < q.PaperReplies[0]:
+				pick = 0
+			case r < q.PaperReplies[0]+q.PaperReplies[1]:
+				pick = 1
+			default:
+				pick = 2
+			}
+			res.Replies[qi][pick]++
+			cnt := res.PerAspect[q.Aspect]
+			if q.Consistent[pick] {
+				cnt.Consistent++
+			} else {
+				cnt.Inconsistent++
+			}
+			res.PerAspect[q.Aspect] = cnt
+		}
+	}
+	return res
+}

@@ -1,0 +1,100 @@
+package userstudy
+
+import (
+	"testing"
+)
+
+func TestPilotQuestionsMatchTable10(t *testing.T) {
+	if len(PilotQuestions) != 10 {
+		t.Fatalf("questions = %d, want 10", len(PilotQuestions))
+	}
+	for i, q := range PilotQuestions {
+		total := q.PaperReplies[0] + q.PaperReplies[1] + q.PaperReplies[2]
+		if total != 20 {
+			t.Errorf("question %d: paper replies sum to %d, want 20", i, total)
+		}
+		anyConsistent := false
+		for _, c := range q.Consistent {
+			anyConsistent = anyConsistent || c
+		}
+		if !anyConsistent {
+			t.Errorf("question %d has no consistent option", i)
+		}
+		if q.Question == "" || q.Answers[0] == "" {
+			t.Errorf("question %d incomplete", i)
+		}
+	}
+}
+
+// TestPaperAggregationMatchesTable2 verifies that aggregating the Table 10
+// reply counts by aspect reproduces the Table 2 totals exactly — i.e. our
+// transcription and consistency marking are faithful.
+func TestPaperAggregationMatchesTable2(t *testing.T) {
+	agg := make(map[string]AspectCount)
+	for _, q := range PilotQuestions {
+		cnt := agg[q.Aspect]
+		for opt := 0; opt < 3; opt++ {
+			if q.Consistent[opt] {
+				cnt.Consistent += q.PaperReplies[opt]
+			} else {
+				cnt.Inconsistent += q.PaperReplies[opt]
+			}
+		}
+		agg[q.Aspect] = cnt
+	}
+	for aspect, want := range PaperTable2 {
+		if got := agg[aspect]; got != want {
+			t.Errorf("%s: derived %+v, paper %+v", aspect, got, want)
+		}
+	}
+}
+
+func TestRunPilotDefaults(t *testing.T) {
+	res := RunPilot(PilotConfig{Seed: 1})
+	if len(res.Replies) != 10 {
+		t.Fatalf("replies for %d questions", len(res.Replies))
+	}
+	for i, r := range res.Replies {
+		if r[0]+r[1]+r[2] != 20 {
+			t.Errorf("question %d: replies sum to %d, want 20", i, r[0]+r[1]+r[2])
+		}
+	}
+	// Every aspect must appear.
+	for _, aspect := range AspectOrder {
+		if _, ok := res.PerAspect[aspect]; !ok {
+			t.Errorf("aspect %q missing", aspect)
+		}
+	}
+}
+
+// TestRunPilotReproducesShape: in the simulation, as in the paper, a
+// majority of replies supports each hypothesis.
+func TestRunPilotReproducesShape(t *testing.T) {
+	res := RunPilot(PilotConfig{Workers: 200, Seed: 2})
+	for _, aspect := range AspectOrder {
+		cnt := res.PerAspect[aspect]
+		if aspect == "Composition" {
+			// The weakest hypothesis in the paper too (21 vs 19).
+			continue
+		}
+		if cnt.Consistent <= cnt.Inconsistent {
+			t.Errorf("%s: consistent %d should exceed inconsistent %d",
+				aspect, cnt.Consistent, cnt.Inconsistent)
+		}
+	}
+	// Variance (the normal-distribution row) is the strongest.
+	v := res.PerAspect["Variance"]
+	if float64(v.Consistent)/float64(v.Consistent+v.Inconsistent) < 0.8 {
+		t.Error("variance consistency should be above 80%")
+	}
+}
+
+func TestRunPilotDeterministic(t *testing.T) {
+	a := RunPilot(PilotConfig{Seed: 3})
+	b := RunPilot(PilotConfig{Seed: 3})
+	for i := range a.Replies {
+		if a.Replies[i] != b.Replies[i] {
+			t.Fatal("same seed should reproduce replies")
+		}
+	}
+}

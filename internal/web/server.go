@@ -1,0 +1,327 @@
+// Package web exposes the voice-OLAP system over HTTP, mirroring the
+// paper's crowd-study interface: clients submit keyword commands per
+// session, choose between the holistic vocalizer and the prior baseline
+// for every single query, and receive the speech text (a browser would
+// hand it to a TTS API). Queries are logged server-side as in the study.
+package web
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/encode"
+	"repro/internal/nlq"
+	"repro/internal/olap"
+	"repro/internal/speech"
+	"repro/internal/voice"
+)
+
+// DatasetInfo registers one dataset with its spoken measure.
+type DatasetInfo struct {
+	// Name is the public dataset identifier ("flights", "salaries").
+	Name string
+	// Dataset is the bound data.
+	Dataset *olap.Dataset
+	// MeasureCol is the measure column vocalized by default.
+	MeasureCol string
+	// MeasureDesc is its spoken description.
+	MeasureDesc string
+	// Format renders measure values.
+	Format speech.ValueFormat
+}
+
+// QueryLogEntry records one vocalized query, as the paper's server did.
+type QueryLogEntry struct {
+	Time      time.Time `json:"time"`
+	Session   string    `json:"session"`
+	Dataset   string    `json:"dataset"`
+	Input     string    `json:"input"`
+	Method    string    `json:"method"`
+	Speech    string    `json:"speech"`
+	LatencyMS float64   `json:"latencyMs"`
+}
+
+// Server serves the voice-OLAP API.
+type Server struct {
+	mu       sync.Mutex
+	datasets map[string]DatasetInfo
+	order    []string
+	sessions map[string]*nlq.Session
+	log      []QueryLogEntry
+	cfg      core.Config
+}
+
+// NewServer registers the datasets and returns a server. cfg configures
+// the holistic vocalizer (a simulated clock makes responses immediate —
+// the browser performs actual playback).
+func NewServer(cfg core.Config, infos ...DatasetInfo) (*Server, error) {
+	if len(infos) == 0 {
+		return nil, errors.New("web: at least one dataset required")
+	}
+	s := &Server{
+		datasets: make(map[string]DatasetInfo, len(infos)),
+		sessions: make(map[string]*nlq.Session),
+		cfg:      cfg,
+	}
+	for _, info := range infos {
+		if info.Dataset == nil || info.Name == "" {
+			return nil, errors.New("web: dataset info incomplete")
+		}
+		if _, dup := s.datasets[info.Name]; dup {
+			return nil, fmt.Errorf("web: duplicate dataset %q", info.Name)
+		}
+		s.datasets[info.Name] = info
+		s.order = append(s.order, info.Name)
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/datasets", s.handleDatasets)
+	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("GET /api/log", s.handleLog)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	return mux
+}
+
+// handleIndex serves the minimal study page.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+// handleDatasets lists the registered datasets.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	type dataset struct {
+		Name    string `json:"name"`
+		Rows    int    `json:"rows"`
+		Measure string `json:"measure"`
+	}
+	s.mu.Lock()
+	out := make([]dataset, 0, len(s.order))
+	for _, name := range s.order {
+		info := s.datasets[name]
+		out = append(out, dataset{
+			Name:    name,
+			Rows:    info.Dataset.Table().NumRows(),
+			Measure: info.MeasureDesc,
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// queryRequest is the /api/query payload.
+type queryRequest struct {
+	// Session identifies the exploration session (the study asked for the
+	// crowd worker ID).
+	Session string `json:"session"`
+	// Dataset selects the registered dataset.
+	Dataset string `json:"dataset"`
+	// Input is the voice or keyboard command.
+	Input string `json:"input"`
+	// Method selects the vocalizer: "this" (holistic) or "prior".
+	Method string `json:"method"`
+}
+
+// queryResponse is the /api/query reply.
+type queryResponse struct {
+	Action    string  `json:"action"`
+	Message   string  `json:"message,omitempty"`
+	Speech    string  `json:"speech,omitempty"`
+	LatencyMS float64 `json:"latencyMs"`
+	// Structured carries the grammar decomposition for holistic answers,
+	// so clients can render or re-score speeches without re-parsing text.
+	Structured *encode.Speech `json:"structured,omitempty"`
+	// SSML carries speech markup for TTS engines that accept it.
+	SSML string `json:"ssml,omitempty"`
+}
+
+// handleQuery parses the command in the caller's session and vocalizes
+// the resulting query with the chosen method.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	if req.Session == "" {
+		writeError(w, http.StatusBadRequest, errors.New("session required"))
+		return
+	}
+	s.mu.Lock()
+	info, ok := s.datasets[req.Dataset]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
+		return
+	}
+	key := req.Session + "\x00" + req.Dataset
+	sess := s.sessions[key]
+	if sess == nil {
+		var err error
+		sess, err = nlq.NewSession(info.Dataset, olap.Avg, info.MeasureCol, info.MeasureDesc)
+		if err != nil {
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.sessions[key] = sess
+	}
+	resp, err := sess.Parse(req.Input)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	q := sess.Query()
+	s.mu.Unlock()
+
+	out := queryResponse{Action: resp.Action, Message: resp.Message}
+	if resp.IsQuery {
+		speechText, structured, latency, err := s.vocalize(info, q, req.Method)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		out.Speech = speechText
+		out.LatencyMS = float64(latency) / float64(time.Millisecond)
+		if structured != nil {
+			enc := encode.EncodeSpeech(structured)
+			out.Structured = &enc
+			out.SSML = structured.SSML(speech.DefaultSSMLOptions())
+		}
+		s.mu.Lock()
+		s.log = append(s.log, QueryLogEntry{
+			Time:    time.Now(),
+			Session: req.Session,
+			Dataset: req.Dataset,
+			Input:   req.Input,
+			Method:  methodName(req.Method),
+			Speech:  out.Speech,
+
+			LatencyMS: out.LatencyMS,
+		})
+		s.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// methodName normalizes the requested vocalization method.
+func methodName(m string) string {
+	if m == "prior" {
+		return "prior"
+	}
+	return "this"
+}
+
+// vocalize runs the chosen vocalizer on the query. The structured speech
+// is non-nil for the holistic method only (the prior grammar has none).
+func (s *Server) vocalize(info DatasetInfo, q olap.Query, method string) (string, *speech.Speech, time.Duration, error) {
+	if methodName(method) == "prior" {
+		out, err := baseline.NewPrior(info.Dataset, q, baseline.Config{
+			Format:      info.Format,
+			MergeValues: true,
+		}).Vocalize()
+		if err != nil {
+			return "", nil, 0, err
+		}
+		return out.Text, nil, out.Latency, nil
+	}
+	cfg := s.cfg
+	cfg.Format = info.Format
+	if cfg.Clock == nil {
+		cfg.Clock = voice.NewSimClock()
+	}
+	if cfg.MaxRoundsPerSentence == 0 {
+		cfg.MaxRoundsPerSentence = 500
+	}
+	if cfg.MaxTreeNodes == 0 {
+		cfg.MaxTreeNodes = 50000
+	}
+	out, err := core.NewHolistic(info.Dataset, q, cfg).Vocalize()
+	if err != nil {
+		return "", nil, 0, err
+	}
+	return out.Text(), out.Speech, out.Latency, nil
+}
+
+// handleLog returns the query log.
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]QueryLogEntry, len(s.log))
+	copy(out, s.log)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is already out; nothing sensible left to do.
+		return
+	}
+}
+
+// writeError writes a JSON error payload.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// indexHTML is the minimal single-page study interface. Speech synthesis
+// uses the browser's speechSynthesis API, standing in for the paper's
+// ResponsiveVoiceJS integration.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head><meta charset="utf-8"><title>Voice-Based OLAP</title></head>
+<body>
+<h1>Voice-Based OLAP</h1>
+<p>Type a command (say "help" for keywords). Results are spoken aloud.</p>
+<select id="dataset"></select>
+<select id="method">
+  <option value="this">This approach (holistic)</option>
+  <option value="prior">Prior vocalization</option>
+</select>
+<input id="input" size="60" placeholder="how does cancellation depend on region and season">
+<button onclick="ask()">Ask</button>
+<pre id="out"></pre>
+<script>
+const session = "web-" + Math.random().toString(36).slice(2);
+fetch("/api/datasets").then(r => r.json()).then(ds => {
+  const sel = document.getElementById("dataset");
+  ds.forEach(d => { const o = document.createElement("option"); o.value = d.name; o.textContent = d.name + " (" + d.measure + ")"; sel.appendChild(o); });
+});
+async function ask() {
+  const body = {
+    session: session,
+    dataset: document.getElementById("dataset").value,
+    input: document.getElementById("input").value,
+    method: document.getElementById("method").value,
+  };
+  const r = await fetch("/api/query", {method: "POST", headers: {"Content-Type": "application/json"}, body: JSON.stringify(body)});
+  const j = await r.json();
+  const text = j.error || j.speech || j.message || "";
+  document.getElementById("out").textContent = text + (j.speech ? "\n\n[latency " + j.latencyMs.toFixed(1) + " ms]" : "");
+  if (text && window.speechSynthesis) {
+    window.speechSynthesis.speak(new SpeechSynthesisUtterance(text));
+  }
+}
+</script>
+</body>
+</html>
+`
