@@ -2,14 +2,27 @@
 // paper's crowd study: a single page where each query can be answered by
 // either vocalization method, spoken by the browser's speech synthesis.
 //
+// The daemon is hardened for sustained traffic: the HTTP server carries
+// read/write/idle timeouts, every request runs under a deadline (answers
+// degrade to a shorter valid speech instead of overrunning), concurrent
+// vocalizations are bounded (503 + Retry-After beyond the limit), and
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// queries before exiting.
+//
 // Usage:
 //
 //	voiceolapd [-addr :8080] [-flight-rows N] [-seed S]
+//	           [-request-timeout 30s] [-shutdown-grace 10s]
+//	           [-max-concurrent 32] [-max-body-bytes 65536]
+//	           [-log-cap 10000] [-max-sessions 1024] [-session-ttl 1h]
+//	           [-read-timeout 30s] [-write-timeout 60s] [-idle-timeout 2m]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"time"
@@ -32,6 +45,16 @@ func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
 	flightRows := flag.Int("flight-rows", datagen.DefaultFlightRows, "flight dataset rows")
 	seed := flag.Int64("seed", 1, "random seed")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline; answers degrade at the deadline (negative disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on SIGINT/SIGTERM")
+	maxConcurrent := flag.Int("max-concurrent", 32, "concurrent vocalizations admitted before responding 503")
+	maxBodyBytes := flag.Int64("max-body-bytes", 64<<10, "request body cap for /api/query")
+	logCap := flag.Int("log-cap", 10000, "query-log ring capacity")
+	maxSessions := flag.Int("max-sessions", 1024, "live session cap (LRU eviction beyond it)")
+	sessionTTL := flag.Duration("session-ttl", time.Hour, "idle session eviction deadline")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
+	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "HTTP server write timeout (keep above -request-timeout)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
 	flag.Parse()
 
 	fmt.Printf("generating datasets (flights: %d rows)...\n", *flightRows)
@@ -51,7 +74,15 @@ func run() error {
 		MaxRoundsPerSentence: 2000,
 		MaxTreeNodes:         100000,
 	}
-	srv, err := web.NewServer(cfg,
+	opts := web.Options{
+		RequestTimeout: *requestTimeout,
+		MaxBodyBytes:   *maxBodyBytes,
+		MaxConcurrent:  *maxConcurrent,
+		LogCap:         *logCap,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
+	}
+	srv, err := web.NewServerWith(cfg, opts,
 		web.DatasetInfo{Name: "flights", Dataset: flights, MeasureCol: "cancelled",
 			MeasureDesc: "average cancellation probability", Format: speech.PercentFormat},
 		web.DatasetInfo{Name: "salaries", Dataset: salaries, MeasureCol: "midCareerSalary",
@@ -60,6 +91,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving voice-based OLAP on %s\n", *addr)
-	return http.ListenAndServe(*addr, srv.Handler())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving voice-based OLAP on %s (SIGINT/SIGTERM drains for up to %s)\n", ln.Addr(), *shutdownGrace)
+	if err := web.ServeGraceful(context.Background(), httpSrv, ln, *shutdownGrace); err != nil {
+		return err
+	}
+	fmt.Println("shut down cleanly")
+	return nil
 }

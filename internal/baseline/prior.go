@@ -10,6 +10,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -56,6 +57,10 @@ type Output struct {
 	Latency time.Duration
 	// Sentences is the number of generated sentences.
 	Sentences int
+	// Truncated reports that context cancellation cut the enumeration
+	// short; the text still ends at a sentence boundary and at least one
+	// sentence is spoken.
+	Truncated bool
 }
 
 // Prior is the 2017 greedy vocalizer adapted to OLAP results.
@@ -75,23 +80,35 @@ func (p *Prior) Name() string { return "prior" }
 
 // Vocalize evaluates the query exactly and renders the full enumeration.
 func (p *Prior) Vocalize() (*Output, error) {
+	return p.VocalizeContext(context.Background())
+}
+
+// VocalizeContext is Vocalize bound to ctx. The enumeration — the part
+// whose length explodes on multi-dimensional results — checks the context
+// between sentences and truncates once it expires, always keeping at
+// least the first sentence so the caller has something to speak; the
+// Output is flagged Truncated then. The exact evaluation itself is not
+// interruptible.
+func (p *Prior) VocalizeContext(ctx context.Context) (*Output, error) {
 	start := p.cfg.Clock.Now()
 	result, err := olap.Evaluate(p.dataset, p.query)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
-	text, sentences := p.render(result)
+	text, sentences, truncated := p.render(ctx, result)
 	return &Output{
 		Text:      text,
 		Latency:   p.cfg.Clock.Now().Sub(start),
 		Sentences: sentences,
+		Truncated: truncated,
 	}, nil
 }
 
 // render enumerates the result: one sentence per combination of leading
 // dimension members, listing the trailing dimension's values (greedily
-// merged when equal).
-func (p *Prior) render(result *olap.Result) (string, int) {
+// merged when equal). It stops at a sentence boundary — but never before
+// the first sentence — once ctx expires, reporting the truncation.
+func (p *Prior) render(ctx context.Context, result *olap.Result) (string, int, bool) {
 	space := result.Space()
 	q := space.Query()
 	aggName := q.ColDescription
@@ -100,6 +117,7 @@ func (p *Prior) render(result *olap.Result) (string, int) {
 	}
 	nd := space.NumDims()
 
+	truncated := false
 	var sentences []string
 	if nd == 1 {
 		sentences = append(sentences, p.renderRun(aggName, "", space.Members(0), func(i int) float64 {
@@ -109,6 +127,10 @@ func (p *Prior) render(result *olap.Result) (string, int) {
 		// Iterate leading coordinates (all dims but the last).
 		lead := make([]int, nd-1)
 		for {
+			if len(sentences) > 0 && ctx.Err() != nil {
+				truncated = true
+				break
+			}
 			prefix := make([]*dimension.Member, nd-1)
 			var prefixNames []string
 			for d := 0; d < nd-1; d++ {
@@ -136,7 +158,7 @@ func (p *Prior) render(result *olap.Result) (string, int) {
 			}
 		}
 	}
-	return strings.Join(sentences, " "), len(sentences)
+	return strings.Join(sentences, " "), len(sentences), truncated
 }
 
 // renderRun renders one sentence for a run of trailing-dimension members.

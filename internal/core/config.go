@@ -14,9 +14,11 @@
 package core
 
 import (
+	"math/rand"
 	"time"
 
 	"repro/internal/speech"
+	"repro/internal/table"
 	"repro/internal/voice"
 )
 
@@ -97,6 +99,16 @@ type Config struct {
 	// (simulated clocks keep the deterministic synchronous loop).
 	BackgroundSampling bool
 
+	// Scanner overrides how table rows are streamed into the samplers;
+	// nil selects the pseudo-random full-table scan. Fault-injection
+	// tests wrap the scan with failing, slow, or stalling variants here.
+	Scanner func(t *table.Table, rng *rand.Rand) table.Scanner
+
+	// AsyncStopGrace bounds how long a cancelled vocalization waits for
+	// the background scan goroutine to exit before abandoning it (a hung
+	// scanner must not hang the answer); zero selects one second.
+	AsyncStopGrace time.Duration
+
 	// Trace, when non-nil, records the planner's per-sentence decisions
 	// for observability.
 	Trace *Trace
@@ -149,6 +161,9 @@ func (c Config) Normalize() Config {
 	if c.WarnRelativeWidth <= 0 {
 		c.WarnRelativeWidth = 0.5
 	}
+	if c.AsyncStopGrace <= 0 {
+		c.AsyncStopGrace = time.Second
+	}
 	return c
 }
 
@@ -174,6 +189,14 @@ type Output struct {
 	// Warning is the low-confidence warning spoken in UncertaintyWarn
 	// mode, empty otherwise.
 	Warning string
+	// Degraded reports that the run hit its context deadline or was
+	// cancelled before planning finished: the speech contains only what
+	// was committed in time (at minimum the preamble) and is still
+	// grammar-valid.
+	Degraded bool
+	// DegradeReason explains a degraded run ("context deadline exceeded"
+	// or "context canceled"); empty when Degraded is false.
+	DegradeReason string
 }
 
 // Text returns the full spoken text.

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/speech"
+	"repro/internal/table"
+	"repro/internal/voice"
+)
+
+// requireValidSpeech asserts a run produced a grammar-conforming speech
+// (degraded or not) — the graceful-degradation contract under faults.
+func requireValidSpeech(t *testing.T, out *Output, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("Vocalize under fault: %v (faults must degrade, not error)", err)
+	}
+	if out.Speech == nil || out.Speech.Preamble == nil {
+		t.Fatal("faulted run must still produce a speech with a preamble")
+	}
+	if !out.Speech.Valid(speech.DefaultPrefs()) {
+		t.Errorf("speech violates prefs: %q", out.Speech.MainText())
+	}
+	if !(speech.Parser{}).Conforms(out.Speech.Text()) {
+		t.Errorf("speech violates the grammar: %q", out.Speech.Text())
+	}
+}
+
+func TestHolisticSurvivesFailingScanner(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 51)
+	for _, limit := range []int{0, 10, 500} {
+		cfg := testConfig(1)
+		cfg.Scanner = func(tab *table.Table, rng *rand.Rand) table.Scanner {
+			return &faults.FailingScanner{Inner: table.NewRandomScanner(tab, rng), Limit: limit}
+		}
+		out, err := NewHolistic(d, q, cfg).Vocalize()
+		requireValidSpeech(t, out, err)
+		if out.RowsRead > int64(limit) {
+			t.Errorf("limit %d: planner claims %d rows read", limit, out.RowsRead)
+		}
+	}
+}
+
+func TestUnmergedSurvivesFailingScanner(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 51)
+	cfg := testConfig(1)
+	cfg.Scanner = func(tab *table.Table, rng *rand.Rand) table.Scanner {
+		return &faults.FailingScanner{Inner: table.NewRandomScanner(tab, rng), Limit: 50}
+	}
+	out, err := NewUnmerged(d, q, cfg).Vocalize()
+	requireValidSpeech(t, out, err)
+}
+
+func TestHolisticSurvivesStallingScanner(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 51)
+	var stall *faults.StallingScanner
+	cfg := testConfig(1)
+	cfg.BackgroundSampling = true
+	cfg.AsyncStopGrace = 50 * time.Millisecond
+	cfg.Scanner = func(tab *table.Table, rng *rand.Rand) table.Scanner {
+		stall = faults.NewStallingScanner(table.NewRandomScanner(tab, rng), 64)
+		return stall
+	}
+	out, err := NewHolistic(d, q, cfg).Vocalize()
+	// Unblock the abandoned scan goroutine before the test ends.
+	if stall != nil {
+		defer stall.Release()
+	}
+	requireValidSpeech(t, out, err)
+}
+
+func TestHolisticSurvivesSlowScannerUnderDeadline(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 51)
+	cfg := testConfig(1)
+	cfg.Scanner = func(tab *table.Table, rng *rand.Rand) table.Scanner {
+		return &faults.SlowScanner{Inner: table.NewRandomScanner(tab, rng), Delay: time.Millisecond}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	out, err := NewHolistic(d, q, cfg).VocalizeContext(ctx)
+	requireValidSpeech(t, out, err)
+	if !out.Degraded {
+		t.Error("a 30ms deadline against a 1ms/row scanner should degrade")
+	}
+}
+
+func TestHolisticSurvivesJitteryClock(t *testing.T) {
+	d, q := flightsQuery(t, 20000, 51)
+	cfg := testConfig(1)
+	// The jitter wrapper hides the simulated clock from simAdvance, so
+	// playback must be effectively instant for rounds to progress past
+	// MinRounds instead of spinning on IsPlaying.
+	cfg.Clock = faults.NewJitterClock(voice.NewSimClock(), 50*time.Millisecond, 7)
+	cfg.SpeakingRate = 1e9
+	out, err := NewHolistic(d, q, cfg).Vocalize()
+	requireValidSpeech(t, out, err)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -42,12 +43,30 @@ func runnerUp(tree *mcts.Tree, best *mcts.Node) *mcts.Node {
 	return second
 }
 
+// markDegraded stamps the context's failure reason on the output.
+func markDegraded(out *Output, ctx context.Context) *Output {
+	if err := ctx.Err(); err != nil {
+		out.Degraded = true
+		out.DegradeReason = err.Error()
+	}
+	return out
+}
+
 // Name identifies the approach in experiment output.
 func (h *Holistic) Name() string { return "holistic" }
 
 // Vocalize runs Algorithm 1 (EVALVOCAL) and returns the spoken speech with
 // its timing statistics.
 func (h *Holistic) Vocalize() (*Output, error) {
+	return h.VocalizeContext(context.Background())
+}
+
+// VocalizeContext is Vocalize bound to ctx. Cancellation and deadline
+// expiry degrade instead of erroring: the planner stops committing new
+// sentences and returns the preamble plus whatever sentences were
+// committed in time, flagged with Output.Degraded — a late partial answer
+// beats no answer for a voice interface that already started speaking.
+func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 	s, err := newSession(h.dataset, h.query, h.cfg)
 	if err != nil {
 		return nil, err
@@ -61,20 +80,32 @@ func (h *Holistic) Vocalize() (*Output, error) {
 	s.speaker.Start(preamble.Text())
 	latency := cfg.Clock.Now().Sub(start)
 
+	// A deadline that expired before planning even started still yields a
+	// valid (if minimal) spoken answer: the preamble alone.
+	if ctx.Err() != nil {
+		return markDegraded(&Output{
+			Speech:     &speech.Speech{Preamble: preamble},
+			Latency:    latency,
+			Transcript: s.speaker.Transcript(),
+		}, ctx), nil
+	}
+
 	// Sample source: synchronous batches interleaved with planning by
 	// default, or a background goroutine when BackgroundSampling is set.
 	var est sampling.Estimator = s.sampler.Cache()
-	readBatch := func(n int) int64 { return int64(s.sampler.ReadRows(n)) }
+	readBatch := func(n int) int64 { return int64(s.sampler.ReadRowsContext(ctx, n)) }
 	grand := s.sampler.Cache().GrandEstimate
 	totalRead := func(fallback int64) int64 { return fallback }
 	if cfg.BackgroundSampling {
-		async, err := sampling.NewAsyncSampler(s.space, s.rng, cfg.RowsPerRound*4)
+		async, err := sampling.NewAsyncSamplerWithScanner(s.space, newScanner(cfg, s.space, s.rng), cfg.RowsPerRound*4)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		s.async = async
-		async.Start()
-		defer async.Stop()
+		async.StartContext(ctx)
+		// A bounded wait at teardown: a scan stuck inside a hung scanner
+		// must not hang the answer with it.
+		defer async.StopWithin(cfg.AsyncStopGrace)
 		est = async
 		readBatch = func(int) int64 { return 0 }
 		grand = async.GrandEstimate
@@ -83,6 +114,9 @@ func (h *Holistic) Vocalize() (*Output, error) {
 		// estimate needs; the preamble is playing meanwhile.
 		waitUntil := time.Now().Add(100 * time.Millisecond)
 		for async.NrRead() < int64(cfg.InitialRows) && time.Now().Before(waitUntil) {
+			if ctx.Err() != nil {
+				break
+			}
 			time.Sleep(100 * time.Microsecond)
 		}
 	}
@@ -96,6 +130,14 @@ func (h *Holistic) Vocalize() (*Output, error) {
 	}
 	if err := s.buildModel(scale); err != nil {
 		return nil, err
+	}
+	if ctx.Err() != nil {
+		return markDegraded(&Output{
+			Speech:     &speech.Speech{Preamble: preamble},
+			Latency:    latency,
+			RowsRead:   totalRead(rowsRead),
+			Transcript: s.speaker.Transcript(),
+		}, ctx), nil
 	}
 
 	// Initialize the search tree for speech output (ST.NEWNODE/ST.EXPAND).
@@ -114,27 +156,38 @@ func (h *Holistic) Vocalize() (*Output, error) {
 
 	var treeSamples int64
 	var boundsSpoken []string
-	for {
+	cancelled := false
+	for !cancelled {
 		// Refine quality estimates while the current sentence plays.
 		rounds := 0
 		windowStart := cfg.Clock.Now()
 		windowRows := int64(0)
 		windowSamples := int64(0)
 		for s.speaker.IsPlaying() || rounds < cfg.MinRounds {
+			if ctx.Err() != nil {
+				cancelled = true
+				break
+			}
 			if cfg.MaxRoundsPerSentence > 0 && rounds >= cfg.MaxRoundsPerSentence {
 				break
 			}
 			n := readBatch(cfg.RowsPerRound)
 			rowsRead += n
 			windowRows += n
-			for i := 0; i < cfg.SamplesPerRound; i++ {
-				if tree.Sample() {
-					treeSamples++
-					windowSamples++
-				}
+			done, sampleErr := tree.SampleBatch(ctx, cfg.SamplesPerRound)
+			treeSamples += int64(done)
+			windowSamples += int64(done)
+			if sampleErr != nil {
+				cancelled = true
+				break
 			}
 			rounds++
 			s.simAdvance()
+		}
+		if cancelled {
+			// Never commit a sentence the deadline left no time to
+			// evaluate: the committed prefix is the degraded answer.
+			break
 		}
 		// Is the speech finished?
 		best := tree.BestChild()
@@ -169,12 +222,12 @@ func (h *Holistic) Vocalize() (*Output, error) {
 	}
 
 	var warning string
-	if cfg.Uncertainty == UncertaintyWarn && s.lowConfidence() {
+	if !cancelled && cfg.Uncertainty == UncertaintyWarn && s.lowConfidence() {
 		warning = uncertaintyWarning
 		s.speaker.Start(warning)
 	}
 
-	return &Output{
+	return markDegraded(&Output{
 		Speech:       tree.Speech(tree.Root()),
 		Latency:      latency,
 		PlanningTime: cfg.Clock.Now().Sub(start),
@@ -183,5 +236,5 @@ func (h *Holistic) Vocalize() (*Output, error) {
 		Transcript:   s.speaker.Transcript(),
 		BoundsSpoken: boundsSpoken,
 		Warning:      warning,
-	}, nil
+	}, ctx), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/olap"
@@ -30,12 +31,32 @@ func (o *Optimal) Name() string { return "optimal" }
 // Vocalize exhaustively searches the speech space against the exact query
 // result and then speaks the best speech in one piece.
 func (o *Optimal) Vocalize() (*Output, error) {
+	return o.VocalizeContext(context.Background())
+}
+
+// VocalizeContext is Vocalize bound to ctx. Cancellation mid-search
+// returns the best speech scored so far, flagged degraded; an
+// already-expired context degrades to a preamble-only speech. The exact
+// scan itself is not interruptible — only the (much larger) plan-space
+// enumeration checks the context.
+func (o *Optimal) VocalizeContext(ctx context.Context) (*Output, error) {
 	s, err := newSession(o.dataset, o.query, o.cfg)
 	if err != nil {
 		return nil, err
 	}
 	cfg := s.cfg
 	start := cfg.Clock.Now()
+
+	preamble := s.gen.NewPreamble()
+	if ctx.Err() != nil {
+		sp := &speech.Speech{Preamble: preamble}
+		s.speaker.Start(sp.Text())
+		return markDegraded(&Output{
+			Speech:     sp,
+			Latency:    cfg.Clock.Now().Sub(start),
+			Transcript: s.speaker.Transcript(),
+		}, ctx), nil
+	}
 
 	// Exact query evaluation: the full scan the holistic approach avoids.
 	result, err := olap.EvaluateSpace(s.space)
@@ -47,32 +68,41 @@ func (o *Optimal) Vocalize() (*Output, error) {
 		return nil, err
 	}
 
-	preamble := s.gen.NewPreamble()
-	best, scored := o.searchBest(s, result, scale, preamble)
+	best, scored := o.searchBest(ctx, s, result, scale, preamble)
 
 	s.speaker.Start(best.Text())
 	latency := cfg.Clock.Now().Sub(start)
 
-	return &Output{
+	return markDegraded(&Output{
 		Speech:         best,
 		Latency:        latency,
 		PlanningTime:   latency,
 		SpeechesScored: scored,
 		Transcript:     s.speaker.Transcript(),
-	}, nil
+	}, ctx), nil
 }
 
 // searchBest exhaustively enumerates every valid speech (all baselines,
 // all refinement chains up to the limits — including shorter prefixes,
 // since an extra refinement can hurt quality) and returns the maximizer of
-// exact quality.
-func (o *Optimal) searchBest(s *session, result *olap.Result, scale float64, preamble *speech.Preamble) (*speech.Speech, int64) {
+// exact quality. Cancellation is checked every few hundred scored speeches
+// and cuts the enumeration short, returning the best so far.
+func (o *Optimal) searchBest(ctx context.Context, s *session, result *olap.Result, scale float64, preamble *speech.Preamble) (*speech.Speech, int64) {
+	const checkEvery = 256
 	var best *speech.Speech
 	bestQ := -1.0
 	var scored int64
+	cancelled := false
 
 	var extend func(sp *speech.Speech)
 	extend = func(sp *speech.Speech) {
+		if cancelled {
+			return
+		}
+		if scored%checkEvery == 0 && ctx.Err() != nil {
+			cancelled = true
+			return
+		}
 		q := s.model.Quality(sp, result)
 		scored++
 		if q > bestQ {
@@ -90,6 +120,9 @@ func (o *Optimal) searchBest(s *session, result *olap.Result, scale float64, pre
 		}
 	}
 	for _, b := range s.gen.BaselineCandidates(speech.SpeechScale(scale)) {
+		if cancelled {
+			break
+		}
 		sp := &speech.Speech{Preamble: preamble, Baseline: b}
 		extend(sp)
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/olap"
 	"repro/internal/sampling"
 	"repro/internal/speech"
+	"repro/internal/table"
 	"repro/internal/voice"
 )
 
@@ -49,7 +50,7 @@ func newSession(d *olap.Dataset, q olap.Query, cfg Config) (*session, error) {
 	}
 	gen.DisjointScopes = cfg.DisjointScopes
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	sampler, err := sampling.NewSampler(space, rng)
+	sampler, err := sampling.NewSamplerWithScanner(space, newScanner(cfg, space, rng))
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -67,6 +68,16 @@ func newSession(d *olap.Dataset, q olap.Query, cfg Config) (*session, error) {
 		speaker: voice.NewSpeaker(cfg.Clock, cfg.SpeakingRate),
 		rng:     rng,
 	}, nil
+}
+
+// newScanner builds the row stream for a sampler: the configured override
+// when set (fault injection, alternative orders), else the pseudo-random
+// full-table scan.
+func newScanner(cfg Config, space *olap.Space, rng *rand.Rand) table.Scanner {
+	if cfg.Scanner != nil {
+		return cfg.Scanner(space.Dataset().Table(), rng)
+	}
+	return table.NewRandomScanner(space.Dataset().Table(), rng)
 }
 
 // sigmaFor derives the belief σ from the configured value or a scale

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mcts"
@@ -31,6 +32,14 @@ func (u *Unmerged) Name() string { return "unmerged" }
 // Vocalize samples within the budget, then greedily descends the tree by
 // mean reward and speaks the resulting complete speech.
 func (u *Unmerged) Vocalize() (*Output, error) {
+	return u.VocalizeContext(context.Background())
+}
+
+// VocalizeContext is Vocalize bound to ctx. Cancellation shortens the
+// sampling budget and commits whatever the tree learned in time; an
+// already-expired context degrades to a preamble-only speech rather than
+// erroring.
+func (u *Unmerged) VocalizeContext(ctx context.Context) (*Output, error) {
 	s, err := newSession(u.dataset, u.query, u.cfg)
 	if err != nil {
 		return nil, err
@@ -38,7 +47,17 @@ func (u *Unmerged) Vocalize() (*Output, error) {
 	cfg := s.cfg
 	start := cfg.Clock.Now()
 
-	rowsRead := int64(s.sampler.ReadRows(cfg.InitialRows))
+	if ctx.Err() != nil {
+		sp := &speech.Speech{Preamble: s.gen.NewPreamble()}
+		s.speaker.Start(sp.Text())
+		return markDegraded(&Output{
+			Speech:     sp,
+			Latency:    cfg.Clock.Now().Sub(start),
+			Transcript: s.speaker.Transcript(),
+		}, ctx), nil
+	}
+
+	rowsRead := int64(s.sampler.ReadRowsContext(ctx, cfg.InitialRows))
 	scale, ok := s.sampler.Cache().GrandEstimate()
 	if !ok {
 		scale = 0
@@ -61,14 +80,17 @@ func (u *Unmerged) Vocalize() (*Output, error) {
 	deadline := start.Add(cfg.Budget)
 	rounds := 0
 	for cfg.Clock.Now().Before(deadline) {
+		if ctx.Err() != nil {
+			break
+		}
 		if cfg.MaxRoundsPerSentence > 0 && rounds >= cfg.MaxRoundsPerSentence {
 			break
 		}
-		rowsRead += int64(s.sampler.ReadRows(cfg.RowsPerRound))
-		for i := 0; i < cfg.SamplesPerRound; i++ {
-			if tree.Sample() {
-				treeSamples++
-			}
+		rowsRead += int64(s.sampler.ReadRowsContext(ctx, cfg.RowsPerRound))
+		done, sampleErr := tree.SampleBatch(ctx, cfg.SamplesPerRound)
+		treeSamples += int64(done)
+		if sampleErr != nil {
+			break
 		}
 		rounds++
 		s.simAdvance()
@@ -94,12 +116,12 @@ func (u *Unmerged) Vocalize() (*Output, error) {
 	s.speaker.Start(final.Text())
 	latency := cfg.Clock.Now().Sub(start)
 
-	return &Output{
+	return markDegraded(&Output{
 		Speech:       final,
 		Latency:      latency,
 		PlanningTime: latency,
 		RowsRead:     rowsRead,
 		TreeSamples:  treeSamples,
 		Transcript:   s.speaker.Transcript(),
-	}, nil
+	}, ctx), nil
 }

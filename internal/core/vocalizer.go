@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/belief"
@@ -18,11 +19,21 @@ type Vocalizer interface {
 	Vocalize() (*Output, error)
 }
 
+// ContextVocalizer is a Vocalizer that honors context cancellation and
+// deadlines. Implementations degrade instead of erroring when the context
+// expires mid-run: the returned Output carries a grammar-valid speech (at
+// minimum the preamble) with Degraded set.
+type ContextVocalizer interface {
+	Vocalizer
+	// VocalizeContext runs the approach under ctx.
+	VocalizeContext(ctx context.Context) (*Output, error)
+}
+
 // Compile-time interface checks.
 var (
-	_ Vocalizer = (*Holistic)(nil)
-	_ Vocalizer = (*Optimal)(nil)
-	_ Vocalizer = (*Unmerged)(nil)
+	_ ContextVocalizer = (*Holistic)(nil)
+	_ ContextVocalizer = (*Optimal)(nil)
+	_ ContextVocalizer = (*Unmerged)(nil)
 )
 
 // ExactQuality scores an output's speech against the exact query result

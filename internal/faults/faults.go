@@ -1,0 +1,156 @@
+// Package faults provides fault-injection wrappers for the serving stack:
+// table scanners that die, crawl, or hang mid-stream, and a clock with
+// bounded jitter. Tests wrap the planner's row stream (via
+// core.Config.Scanner) and clock with these to prove the vocalizers still
+// emit grammar-valid speech — possibly degraded, never a hang or panic —
+// under storage and timing failures.
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/table"
+	"repro/internal/voice"
+)
+
+// FailingScanner passes rows through until Limit rows have been emitted,
+// then reports exhaustion forever, simulating a scan whose backend died
+// mid-stream. The consumer sees a short table; Failed reports whether the
+// injected failure actually triggered.
+type FailingScanner struct {
+	// Inner is the wrapped stream.
+	Inner table.Scanner
+	// Limit is the number of rows delivered before the failure (0 fails
+	// immediately).
+	Limit int
+
+	emitted int
+	failed  bool
+}
+
+// Next implements table.Scanner.
+func (f *FailingScanner) Next() (int, bool) {
+	if f.emitted >= f.Limit {
+		f.failed = true
+		return 0, false
+	}
+	r, ok := f.Inner.Next()
+	if !ok {
+		return 0, false
+	}
+	f.emitted++
+	return r, true
+}
+
+// Reset implements table.Scanner, rearming the failure.
+func (f *FailingScanner) Reset() {
+	f.Inner.Reset()
+	f.emitted = 0
+	f.failed = false
+}
+
+// Failed reports whether the injected failure triggered.
+func (f *FailingScanner) Failed() bool { return f.failed }
+
+// SlowScanner delays every row by Delay, simulating a saturated or
+// throttled storage backend.
+type SlowScanner struct {
+	// Inner is the wrapped stream.
+	Inner table.Scanner
+	// Delay is the per-row latency.
+	Delay time.Duration
+}
+
+// Next implements table.Scanner.
+func (s *SlowScanner) Next() (int, bool) {
+	time.Sleep(s.Delay)
+	return s.Inner.Next()
+}
+
+// Reset implements table.Scanner.
+func (s *SlowScanner) Reset() { s.Inner.Reset() }
+
+// StallingScanner delivers After rows normally, then blocks every Next
+// until Release is called — a hung storage backend. Consumers that read
+// synchronously will hang with it (that is the point); the async sampler
+// tolerates it via its bounded StopWithin teardown.
+type StallingScanner struct {
+	// Inner is the wrapped stream.
+	Inner table.Scanner
+	// After is the number of rows delivered before the stall.
+	After int
+
+	emitted int
+	release chan struct{}
+	once    sync.Once
+}
+
+// NewStallingScanner wraps inner, stalling after the given row count.
+func NewStallingScanner(inner table.Scanner, after int) *StallingScanner {
+	return &StallingScanner{Inner: inner, After: after, release: make(chan struct{})}
+}
+
+// Next implements table.Scanner, blocking once the stall point is reached.
+func (s *StallingScanner) Next() (int, bool) {
+	if s.emitted >= s.After {
+		<-s.release
+		return 0, false
+	}
+	r, ok := s.Inner.Next()
+	if !ok {
+		return 0, false
+	}
+	s.emitted++
+	return r, true
+}
+
+// Reset implements table.Scanner. The stall point is rearmed but a
+// released stall stays released.
+func (s *StallingScanner) Reset() {
+	s.Inner.Reset()
+	s.emitted = 0
+}
+
+// Release unblocks all present and future stalled Next calls, which then
+// report exhaustion. Safe to call multiple times.
+func (s *StallingScanner) Release() {
+	s.once.Do(func() { close(s.release) })
+}
+
+// JitterClock wraps a clock and adds bounded pseudo-random jitter to every
+// reading while keeping it monotonic — readings never run backwards, so
+// playback deadlines still resolve. It simulates scheduling noise between
+// the planner's clock reads.
+type JitterClock struct {
+	mu   sync.Mutex
+	base voice.Clock
+	max  time.Duration
+	rng  *rand.Rand
+	last time.Time
+}
+
+// Compile-time check: the jitter clock is a voice.Clock.
+var _ voice.Clock = (*JitterClock)(nil)
+
+// NewJitterClock wraps base, adding up to max jitter per reading, seeded
+// deterministically.
+func NewJitterClock(base voice.Clock, max time.Duration, seed int64) *JitterClock {
+	return &JitterClock{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements voice.Clock.
+func (c *JitterClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.base.Now()
+	if c.max > 0 {
+		t = t.Add(time.Duration(c.rng.Int63n(int64(c.max) + 1)))
+	}
+	if t.Before(c.last) {
+		return c.last
+	}
+	c.last = t
+	return t
+}

@@ -12,6 +12,7 @@
 package mcts
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -276,6 +277,25 @@ func (t *Tree) Sample() bool {
 		p.Reward += r
 	}
 	return true
+}
+
+// SampleBatch performs up to n sampling rounds, checking ctx between
+// rounds so a planner under a deadline stops mid-batch instead of
+// finishing it. It returns the number of rounds that produced a reward and
+// ctx.Err() when cancellation cut the batch short (nil otherwise).
+func (t *Tree) SampleBatch(ctx context.Context, n int) (int, error) {
+	done := 0
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return done, ctx.Err()
+		default:
+		}
+		if t.Sample() {
+			done++
+		}
+	}
+	return done, nil
 }
 
 // BestChild returns the child of the current root with the highest mean

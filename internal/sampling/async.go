@@ -1,8 +1,10 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/olap"
 	"repro/internal/stats"
@@ -17,12 +19,13 @@ import (
 type AsyncSampler struct {
 	mu      sync.Mutex
 	cache   *Cache
-	scanner *table.RandomScanner
+	scanner table.Scanner
 
-	batch   int
-	stop    chan struct{}
-	done    chan struct{}
-	started bool
+	batch    int
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	started  bool
 }
 
 // Compile-time check: the async sampler is an Estimator.
@@ -31,6 +34,13 @@ var _ Estimator = (*AsyncSampler)(nil)
 // NewAsyncSampler creates the cache and scan stream for space. batch is
 // the number of rows inserted per lock acquisition (<= 0 selects 256).
 func NewAsyncSampler(space *olap.Space, rng *rand.Rand, batch int) (*AsyncSampler, error) {
+	return NewAsyncSamplerWithScanner(space, table.NewRandomScanner(space.Dataset().Table(), rng), batch)
+}
+
+// NewAsyncSamplerWithScanner is NewAsyncSampler with an explicit row
+// stream, the injection point for fault wrappers and alternative scan
+// orders.
+func NewAsyncSamplerWithScanner(space *olap.Space, scanner table.Scanner, batch int) (*AsyncSampler, error) {
 	cache, err := NewCache(space)
 	if err != nil {
 		return nil, err
@@ -40,7 +50,7 @@ func NewAsyncSampler(space *olap.Space, rng *rand.Rand, batch int) (*AsyncSample
 	}
 	return &AsyncSampler{
 		cache:   cache,
-		scanner: table.NewRandomScanner(space.Dataset().Table(), rng),
+		scanner: scanner,
 		batch:   batch,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -48,7 +58,12 @@ func NewAsyncSampler(space *olap.Space, rng *rand.Rand, batch int) (*AsyncSample
 }
 
 // Start launches the background scan. It may be called once.
-func (a *AsyncSampler) Start() {
+func (a *AsyncSampler) Start() { a.StartContext(context.Background()) }
+
+// StartContext launches the background scan bound to ctx: the scan halts
+// when ctx is cancelled, when Stop is called, or when the table is
+// exhausted, whichever comes first. It may be called once.
+func (a *AsyncSampler) StartContext(ctx context.Context) {
 	a.mu.Lock()
 	if a.started {
 		a.mu.Unlock()
@@ -56,16 +71,19 @@ func (a *AsyncSampler) Start() {
 	}
 	a.started = true
 	a.mu.Unlock()
-	go a.loop()
+	go a.loop(ctx)
 }
 
-// loop pulls batches until the table is exhausted or Stop is called.
-func (a *AsyncSampler) loop() {
+// loop pulls batches until the table is exhausted, ctx is cancelled, or
+// Stop is called.
+func (a *AsyncSampler) loop(ctx context.Context) {
 	defer close(a.done)
 	rows := make([]int, 0, a.batch)
 	for {
 		select {
 		case <-a.stop:
+			return
+		case <-ctx.Done():
 			return
 		default:
 		}
@@ -89,18 +107,35 @@ func (a *AsyncSampler) loop() {
 }
 
 // Stop halts the background scan and waits for it to finish. Safe to call
-// multiple times and before Start.
+// multiple times, concurrently, and before Start.
 func (a *AsyncSampler) Stop() {
 	a.mu.Lock()
 	started := a.started
 	a.mu.Unlock()
-	select {
-	case <-a.stop:
-	default:
-		close(a.stop)
-	}
+	a.stopOnce.Do(func() { close(a.stop) })
 	if started {
 		<-a.done
+	}
+}
+
+// StopWithin halts the scan like Stop but waits at most grace for the
+// goroutine to exit. It returns false when the scan is stuck inside the
+// scanner (a hung storage backend): the goroutine is then abandoned — the
+// only safe option for a call that never returns — and exits on its own
+// if the scanner ever unblocks.
+func (a *AsyncSampler) StopWithin(grace time.Duration) bool {
+	a.mu.Lock()
+	started := a.started
+	a.mu.Unlock()
+	a.stopOnce.Do(func() { close(a.stop) })
+	if !started {
+		return true
+	}
+	select {
+	case <-a.done:
+		return true
+	case <-time.After(grace):
+		return false
 	}
 }
 

@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/olap"
@@ -18,14 +19,17 @@ type Sampler struct {
 // NewSampler creates a cache for the query of space and a pseudo-random
 // row stream seeded from rng.
 func NewSampler(space *olap.Space, rng *rand.Rand) (*Sampler, error) {
+	return NewSamplerWithScanner(space, table.NewRandomScanner(space.Dataset().Table(), rng))
+}
+
+// NewSamplerWithScanner is NewSampler with an explicit row stream, the
+// injection point for fault wrappers and alternative scan orders.
+func NewSamplerWithScanner(space *olap.Space, scanner table.Scanner) (*Sampler, error) {
 	cache, err := NewCache(space)
 	if err != nil {
 		return nil, err
 	}
-	return &Sampler{
-		scanner: table.NewRandomScanner(space.Dataset().Table(), rng),
-		cache:   cache,
-	}, nil
+	return &Sampler{scanner: scanner, cache: cache}, nil
 }
 
 // Cache returns the cache the sampler fills.
@@ -36,6 +40,30 @@ func (s *Sampler) Cache() *Cache { return s.cache }
 func (s *Sampler) ReadRows(n int) int {
 	read := 0
 	for read < n {
+		row, ok := s.scanner.Next()
+		if !ok {
+			break
+		}
+		s.cache.Insert(row)
+		read++
+	}
+	return read
+}
+
+// ReadRowsContext is ReadRows with a cancellation check every few rows: it
+// stops early and returns the rows read so far once ctx is done, so a
+// planning loop under a deadline never overshoots it by a whole batch.
+func (s *Sampler) ReadRowsContext(ctx context.Context, n int) int {
+	const checkEvery = 64
+	read := 0
+	for read < n {
+		if read%checkEvery == 0 {
+			select {
+			case <-ctx.Done():
+				return read
+			default:
+			}
+		}
 		row, ok := s.scanner.Next()
 		if !ok {
 			break

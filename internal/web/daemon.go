@@ -1,0 +1,55 @@
+package web
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ServeGraceful runs srv on ln until a listed signal arrives (default
+// SIGINT/SIGTERM) or ctx is cancelled, then shuts the server down
+// gracefully: the listener closes immediately, in-flight requests get up
+// to grace to finish (their per-request contexts make the vocalizers
+// degrade rather than overrun), and only then are stragglers cut off.
+// It returns nil on a clean drained shutdown.
+func ServeGraceful(ctx context.Context, srv *http.Server, ln net.Listener, grace time.Duration, sigs ...os.Signal) error {
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	if grace <= 0 {
+		grace = 10 * time.Second
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, sigs...)
+	defer signal.Stop(stop)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Serve failed before any shutdown request.
+		return err
+	case <-stop:
+	case <-ctx.Done():
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutdownCtx)
+	// Serve has returned (or will momentarily) with ErrServerClosed.
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	if err != nil {
+		// Drain window expired with requests still in flight; cut them.
+		srv.Close()
+		return err
+	}
+	return nil
+}

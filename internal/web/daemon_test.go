@@ -1,0 +1,177 @@
+package web
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeGracefulDrainsInFlightOnSIGTERM proves the daemon contract: a
+// SIGTERM received while a query is being vocalized closes the listener
+// but lets the in-flight request finish with a full 200 answer before
+// ServeGraceful returns nil.
+func TestServeGracefulDrainsInFlightOnSIGTERM(t *testing.T) {
+	srv, _ := newHardenedServer(t, Options{})
+	hold := make(chan struct{})
+	srv.holdVocalize = hold
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	served := make(chan error, 1)
+	go func() {
+		served <- ServeGraceful(context.Background(), httpSrv, ln, 5*time.Second, syscall.SIGUSR1)
+	}()
+	base := "http://" + ln.Addr().String()
+
+	// A completed request proves the server is up and the signal handler
+	// is registered before we raise the signal.
+	resp, err := http.Get(base + "/api/datasets")
+	if err != nil {
+		t.Fatalf("GET datasets: %v", err)
+	}
+	resp.Body.Close()
+
+	// Start a query that blocks inside vocalization.
+	inFlight := make(chan int, 1)
+	go func() {
+		b, _ := json.Marshal(map[string]string{
+			"session": "drain", "dataset": "flights",
+			"input": "break down by season", "method": "prior",
+		})
+		resp, err := http.Post(base+"/api/query", "application/json", bytes.NewReader(b))
+		if err != nil {
+			inFlight <- -1
+			return
+		}
+		resp.Body.Close()
+		inFlight <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.sem) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if len(srv.sem) == 0 {
+		t.Fatal("query never reached vocalization")
+	}
+
+	// Shut down mid-query. SIGUSR1 stands in for SIGTERM so a failure
+	// cannot kill the whole test binary.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// The listener closes promptly; new connections are refused while the
+	// in-flight query drains.
+	refusedBy := time.Now().Add(5 * time.Second)
+	for time.Now().Before(refusedBy) {
+		if _, err := http.Get(base + "/api/datasets"); err != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Release the held vocalization: the drained request must succeed.
+	close(hold)
+	select {
+	case code := <-inFlight:
+		if code != http.StatusOK {
+			t.Errorf("in-flight request finished with %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never finished")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("ServeGraceful = %v, want nil (clean drain)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeGraceful never returned")
+	}
+}
+
+// TestServeGracefulContextCancel shuts down via the caller's context
+// instead of a signal.
+func TestServeGracefulContextCancel(t *testing.T) {
+	srv, _ := newHardenedServer(t, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() {
+		served <- ServeGraceful(ctx, httpSrv, ln, time.Second, syscall.SIGUSR2)
+	}()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/api/datasets")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("ServeGraceful = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeGraceful never returned")
+	}
+}
+
+// TestServeGracefulExpiredGraceCutsStragglers verifies the hard cutoff: a
+// request still running past the grace window is aborted and
+// ServeGraceful reports the deadline error.
+func TestServeGracefulExpiredGraceCutsStragglers(t *testing.T) {
+	srv, _ := newHardenedServer(t, Options{})
+	hold := make(chan struct{})
+	defer close(hold)
+	srv.holdVocalize = hold
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() {
+		served <- ServeGraceful(ctx, httpSrv, ln, 50*time.Millisecond, syscall.SIGUSR2)
+	}()
+	base := "http://" + ln.Addr().String()
+	go func() {
+		b, _ := json.Marshal(map[string]string{
+			"session": "stuck", "dataset": "flights",
+			"input": "break down by season", "method": "prior",
+		})
+		resp, err := http.Post(base+"/api/query", "application/json", bytes.NewReader(b))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.sem) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if len(srv.sem) == 0 {
+		t.Fatal("query never reached vocalization")
+	}
+	cancel()
+	select {
+	case err := <-served:
+		if err == nil {
+			t.Error("expired grace should surface the shutdown deadline error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeGraceful never returned after the grace window")
+	}
+}

@@ -1,0 +1,48 @@
+package web
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// withRecovery converts handler panics into 500 responses with a logged
+// stack trace, so one bad query cannot take the whole daemon down.
+// http.ErrAbortHandler passes through untouched (the standard way to abort
+// a response).
+func withRecovery(next http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if logf != nil {
+				logf("web: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+			// Best effort: if the handler already wrote a response this
+			// header is dropped by the server, which is all we can do.
+			writeError(w, http.StatusInternalServerError, errInternal)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout bounds every request by d via its context. Handlers observe
+// the deadline through r.Context() — the vocalizers degrade rather than
+// error — so unlike http.TimeoutHandler the response still carries the
+// partial answer.
+func withTimeout(next http.Handler, d time.Duration) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

@@ -3,12 +3,20 @@
 // session, choose between the holistic vocalizer and the prior baseline
 // for every single query, and receive the speech text (a browser would
 // hand it to a TTS API). Queries are logged server-side as in the study.
+//
+// The server is hardened for sustained traffic: every request runs under
+// a deadline (vocalizers degrade rather than hang), panics become 500s, a
+// semaphore bounds concurrent vocalizations (503 + Retry-After beyond
+// it), the query log is a fixed-capacity ring, and idle sessions are
+// evicted by TTL and LRU.
 package web
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 	"time"
@@ -45,6 +53,102 @@ type QueryLogEntry struct {
 	Method    string    `json:"method"`
 	Speech    string    `json:"speech"`
 	LatencyMS float64   `json:"latencyMs"`
+	// Degraded marks answers cut short by the request deadline.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+// Options tunes the server's robustness knobs. The zero value selects the
+// defaults noted per field.
+type Options struct {
+	// RequestTimeout bounds each request via its context (default 30s;
+	// negative disables). Vocalizers degrade at the deadline, so the
+	// response still carries a partial answer.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the /api/query request body (default 64 KiB).
+	MaxBodyBytes int64
+	// MaxConcurrent bounds concurrent vocalizations; requests beyond it
+	// receive 503 with a Retry-After hint (default 32).
+	MaxConcurrent int
+	// RetryAfter is the hint attached to 503 responses (default 1s).
+	RetryAfter time.Duration
+	// LogCap is the query-log ring capacity; the oldest entries are
+	// dropped beyond it (default 10000).
+	LogCap int
+	// MaxSessions caps live sessions; the least recently used is evicted
+	// beyond it (default 1024).
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (default 1h).
+	SessionTTL time.Duration
+	// Logf receives operational messages such as panic stacks (default
+	// log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// normalize fills unset options with their defaults.
+func (o Options) normalize() Options {
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 10
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 32
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.LogCap <= 0 {
+		o.LogCap = 10000
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = time.Hour
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// errInternal hides internal error details from clients; the real error
+// goes to the operational log.
+var errInternal = errors.New("internal server error")
+
+// queryLog is a fixed-capacity ring holding the newest entries; the study
+// server must survive unbounded query streams with bounded memory.
+type queryLog struct {
+	cap     int
+	entries []QueryLogEntry
+	next    int
+	dropped int64
+}
+
+// add appends e, overwriting the oldest entry once the ring is full.
+func (l *queryLog) add(e QueryLogEntry) {
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	l.entries[l.next] = e
+	l.next = (l.next + 1) % l.cap
+	l.dropped++
+}
+
+// snapshot copies the entries in chronological order.
+func (l *queryLog) snapshot() []QueryLogEntry {
+	out := make([]QueryLogEntry, 0, len(l.entries))
+	out = append(out, l.entries[l.next:]...)
+	out = append(out, l.entries[:l.next]...)
+	return out
+}
+
+// sessionEntry tracks a session's last use for TTL/LRU eviction.
+type sessionEntry struct {
+	sess     *nlq.Session
+	lastUsed time.Time
 }
 
 // Server serves the voice-OLAP API.
@@ -52,22 +156,40 @@ type Server struct {
 	mu       sync.Mutex
 	datasets map[string]DatasetInfo
 	order    []string
-	sessions map[string]*nlq.Session
-	log      []QueryLogEntry
+	sessions map[string]*sessionEntry
+	log      queryLog
 	cfg      core.Config
+	opts     Options
+	// sem bounds concurrent vocalizations (admission control).
+	sem chan struct{}
+	// now is the server-side bookkeeping clock, stubbed in tests.
+	now func() time.Time
+	// holdVocalize, when non-nil, blocks vocalizations until closed —
+	// a test hook for exercising admission control deterministically.
+	holdVocalize chan struct{}
 }
 
-// NewServer registers the datasets and returns a server. cfg configures
-// the holistic vocalizer (a simulated clock makes responses immediate —
-// the browser performs actual playback).
+// NewServer registers the datasets and returns a server with default
+// Options. cfg configures the holistic vocalizer (a simulated clock makes
+// responses immediate — the browser performs actual playback).
 func NewServer(cfg core.Config, infos ...DatasetInfo) (*Server, error) {
+	return NewServerWith(cfg, Options{}, infos...)
+}
+
+// NewServerWith is NewServer with explicit robustness Options.
+func NewServerWith(cfg core.Config, opts Options, infos ...DatasetInfo) (*Server, error) {
 	if len(infos) == 0 {
 		return nil, errors.New("web: at least one dataset required")
 	}
+	opts = opts.normalize()
 	s := &Server{
 		datasets: make(map[string]DatasetInfo, len(infos)),
-		sessions: make(map[string]*nlq.Session),
+		sessions: make(map[string]*sessionEntry),
+		log:      queryLog{cap: opts.LogCap},
 		cfg:      cfg,
+		opts:     opts,
+		sem:      make(chan struct{}, opts.MaxConcurrent),
+		now:      time.Now,
 	}
 	for _, info := range infos {
 		if info.Dataset == nil || info.Name == "" {
@@ -82,7 +204,8 @@ func NewServer(cfg core.Config, infos ...DatasetInfo) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the HTTP handler.
+// Handler returns the HTTP handler with the recovery and per-request
+// timeout middleware applied.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
@@ -90,7 +213,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/query", s.handleQuery)
 	mux.HandleFunc("GET /api/log", s.handleLog)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
-	return mux
+	var h http.Handler = mux
+	h = withTimeout(h, s.opts.RequestTimeout)
+	h = withRecovery(h, s.opts.Logf)
+	return h
 }
 
 // handleIndex serves the minimal study page.
@@ -143,6 +269,9 @@ type queryResponse struct {
 	Message   string  `json:"message,omitempty"`
 	Speech    string  `json:"speech,omitempty"`
 	LatencyMS float64 `json:"latencyMs"`
+	// Degraded marks an answer cut short by the request deadline: the
+	// speech is still grammar-valid but shorter than planned.
+	Degraded bool `json:"degraded,omitempty"`
 	// Structured carries the grammar decomposition for holistic answers,
 	// so clients can render or re-score speeches without re-parsing text.
 	Structured *encode.Speech `json:"structured,omitempty"`
@@ -150,16 +279,75 @@ type queryResponse struct {
 	SSML string `json:"ssml,omitempty"`
 }
 
+// methodName normalizes the requested vocalization method; ok is false
+// for methods outside the study's menu (rejected with 400 so client typos
+// cannot skew the study logs).
+func methodName(m string) (string, bool) {
+	switch m {
+	case "", "this":
+		return "this", true
+	case "prior":
+		return "prior", true
+	default:
+		return "", false
+	}
+}
+
+// session returns the live session for key, creating it on first use and
+// evicting expired and least-recently-used sessions. Caller holds s.mu.
+func (s *Server) session(key string, info DatasetInfo) (*nlq.Session, error) {
+	now := s.now()
+	// TTL sweep: drop sessions idle past the deadline.
+	for k, e := range s.sessions {
+		if now.Sub(e.lastUsed) > s.opts.SessionTTL {
+			delete(s.sessions, k)
+		}
+	}
+	if e, ok := s.sessions[key]; ok {
+		e.lastUsed = now
+		return e.sess, nil
+	}
+	sess, err := nlq.NewSession(info.Dataset, olap.Avg, info.MeasureCol, info.MeasureDesc)
+	if err != nil {
+		return nil, err
+	}
+	// LRU eviction: make room before inserting.
+	for len(s.sessions) >= s.opts.MaxSessions {
+		oldestKey := ""
+		var oldest time.Time
+		for k, e := range s.sessions {
+			if oldestKey == "" || e.lastUsed.Before(oldest) {
+				oldestKey, oldest = k, e.lastUsed
+			}
+		}
+		delete(s.sessions, oldestKey)
+	}
+	s.sessions[key] = &sessionEntry{sess: sess, lastUsed: now}
+	return sess, nil
+}
+
 // handleQuery parses the command in the caller's session and vocalizes
 // the resulting query with the chosen method.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
 		return
 	}
 	if req.Session == "" {
 		writeError(w, http.StatusBadRequest, errors.New("session required"))
+		return
+	}
+	method, ok := methodName(req.Method)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown method %q (want \"this\" or \"prior\")", req.Method))
 		return
 	}
 	s.mu.Lock()
@@ -170,16 +358,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := req.Session + "\x00" + req.Dataset
-	sess := s.sessions[key]
-	if sess == nil {
-		var err error
-		sess, err = nlq.NewSession(info.Dataset, olap.Avg, info.MeasureCol, info.MeasureDesc)
-		if err != nil {
-			s.mu.Unlock()
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		s.sessions[key] = sess
+	sess, err := s.session(key, info)
+	if err != nil {
+		s.mu.Unlock()
+		s.opts.Logf("web: session init: %v", err)
+		writeError(w, http.StatusInternalServerError, errInternal)
+		return
 	}
 	resp, err := sess.Parse(req.Input)
 	if err != nil {
@@ -192,54 +376,62 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	out := queryResponse{Action: resp.Action, Message: resp.Message}
 	if resp.IsQuery {
-		speechText, structured, latency, err := s.vocalize(info, q, req.Method)
+		// Admission control: beyond MaxConcurrent in-flight
+		// vocalizations, shed load instead of queueing unboundedly.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.opts.RetryAfter.Seconds()+0.5)))
+			writeError(w, http.StatusServiceUnavailable, errors.New("server saturated, retry shortly"))
+			return
+		}
+		if s.holdVocalize != nil {
+			<-s.holdVocalize
+		}
+		speechText, structured, latency, degraded, err := s.vocalize(r.Context(), info, q, method)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			s.opts.Logf("web: vocalize: %v", err)
+			writeError(w, http.StatusInternalServerError, errInternal)
 			return
 		}
 		out.Speech = speechText
 		out.LatencyMS = float64(latency) / float64(time.Millisecond)
+		out.Degraded = degraded
 		if structured != nil {
 			enc := encode.EncodeSpeech(structured)
 			out.Structured = &enc
 			out.SSML = structured.SSML(speech.DefaultSSMLOptions())
 		}
 		s.mu.Lock()
-		s.log = append(s.log, QueryLogEntry{
-			Time:    time.Now(),
-			Session: req.Session,
-			Dataset: req.Dataset,
-			Input:   req.Input,
-			Method:  methodName(req.Method),
-			Speech:  out.Speech,
-
+		s.log.add(QueryLogEntry{
+			Time:      s.now(),
+			Session:   req.Session,
+			Dataset:   req.Dataset,
+			Input:     req.Input,
+			Method:    method,
+			Speech:    out.Speech,
 			LatencyMS: out.LatencyMS,
+			Degraded:  degraded,
 		})
 		s.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// methodName normalizes the requested vocalization method.
-func methodName(m string) string {
-	if m == "prior" {
-		return "prior"
-	}
-	return "this"
-}
-
-// vocalize runs the chosen vocalizer on the query. The structured speech
-// is non-nil for the holistic method only (the prior grammar has none).
-func (s *Server) vocalize(info DatasetInfo, q olap.Query, method string) (string, *speech.Speech, time.Duration, error) {
-	if methodName(method) == "prior" {
+// vocalize runs the chosen vocalizer on the query under ctx. The
+// structured speech is non-nil for the holistic method only (the prior
+// grammar has none). degraded reports a deadline-shortened answer.
+func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, method string) (string, *speech.Speech, time.Duration, bool, error) {
+	if method == "prior" {
 		out, err := baseline.NewPrior(info.Dataset, q, baseline.Config{
 			Format:      info.Format,
 			MergeValues: true,
-		}).Vocalize()
+		}).VocalizeContext(ctx)
 		if err != nil {
-			return "", nil, 0, err
+			return "", nil, 0, false, err
 		}
-		return out.Text, nil, out.Latency, nil
+		return out.Text, nil, out.Latency, out.Truncated, nil
 	}
 	cfg := s.cfg
 	cfg.Format = info.Format
@@ -252,18 +444,17 @@ func (s *Server) vocalize(info DatasetInfo, q olap.Query, method string) (string
 	if cfg.MaxTreeNodes == 0 {
 		cfg.MaxTreeNodes = 50000
 	}
-	out, err := core.NewHolistic(info.Dataset, q, cfg).Vocalize()
+	out, err := core.NewHolistic(info.Dataset, q, cfg).VocalizeContext(ctx)
 	if err != nil {
-		return "", nil, 0, err
+		return "", nil, 0, false, err
 	}
-	return out.Text(), out.Speech, out.Latency, nil
+	return out.Text(), out.Speech, out.Latency, out.Degraded, nil
 }
 
-// handleLog returns the query log.
+// handleLog returns the query log (newest LogCap entries).
 func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	out := make([]QueryLogEntry, len(s.log))
-	copy(out, s.log)
+	out := s.log.snapshot()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }

@@ -96,8 +96,7 @@ func AnalyzeLog(entries []QueryLogEntry) LogAnalysis {
 // handleStats serves the aggregated log analysis.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	entries := make([]QueryLogEntry, len(s.log))
-	copy(entries, s.log)
+	entries := s.log.snapshot()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, AnalyzeLog(entries))
 }
