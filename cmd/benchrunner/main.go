@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig3|table2|table5|table6|table7|table8|table11|table12|table13|ablations|scaling]
+//	benchrunner [-exp all|fig3|table2|table5|table6|table7|table8|table11|table12|table13|ablations|scaling|pipeline]
 //	            [-flight-rows N] [-sessions N] [-seed S]
+//	            [-workers N] [-gen-workers N] [-bench-out FILE]  (pipeline)
 //
 // Pass -flight-rows 5300000 for paper-scale runs (slower; the default
 // 200000 preserves the published shapes at a fraction of the time).
@@ -27,11 +28,41 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment id (all, fig3, table2, table5, table6, table7, table8, table11, table12, table13, ablations, scaling)")
+	exp := flag.String("exp", "all", "experiment id (all, fig3, table2, table5, table6, table7, table8, table11, table12, table13, ablations, scaling, pipeline)")
 	flightRows := flag.Int("flight-rows", experiments.DefaultBenchFlightRows, "flight dataset rows (paper: 5300000)")
 	sessions := flag.Int("sessions", 20, "exploratory study sessions per dataset")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "pipeline: parallel evaluation workers (0 = GOMAXPROCS)")
+	genWorkers := flag.Int("gen-workers", 0, "pipeline: datagen workers (<= 1 sequential)")
+	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "pipeline: machine-readable output file (empty to skip)")
 	flag.Parse()
+
+	// The pipeline experiment generates its own dataset (it measures the
+	// generator too), so it runs before the shared setup.
+	if *exp == "pipeline" {
+		res, err := experiments.Pipeline(experiments.PipelineConfig{
+			Rows: *flightRows, Seed: *seed, Workers: *workers, GenWorkers: *genWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		experiments.PrintPipeline(os.Stdout, res)
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
+		return nil
+	}
 
 	fmt.Printf("generating datasets (flights: %d rows)...\n", *flightRows)
 	setup, err := experiments.NewSetup(*flightRows, *seed)
@@ -162,7 +193,7 @@ func run() error {
 		fmt.Fprintln(w)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q; valid: all fig3 table2 table5 table6 table7 table8 table11 table12 table13 ablations scaling",
+		return fmt.Errorf("unknown experiment %q; valid: all fig3 table2 table5 table6 table7 table8 table11 table12 table13 ablations scaling pipeline",
 			strings.TrimSpace(*exp))
 	}
 	return nil

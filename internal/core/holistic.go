@@ -97,7 +97,16 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 	grand := s.sampler.Cache().GrandEstimate
 	totalRead := func(fallback int64) int64 { return fallback }
 	if cfg.BackgroundSampling {
-		async, err := sampling.NewAsyncSamplerWithScanner(s.space, newScanner(cfg, s.space, s.rng), cfg.RowsPerRound*4)
+		// Sharded scanning only applies to the default pseudo-random scan:
+		// a Scanner override supplies a single stream (fault wrappers), so
+		// it keeps the single background goroutine.
+		var async sampling.BackgroundSource
+		var err error
+		if cfg.SamplerShards > 1 && cfg.Scanner == nil {
+			async, err = sampling.NewShardedSampler(s.space, s.rng, cfg.SamplerShards, cfg.RowsPerRound*4)
+		} else {
+			async, err = sampling.NewAsyncSamplerWithScanner(s.space, newScanner(cfg, s.space, s.rng), cfg.RowsPerRound*4)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}

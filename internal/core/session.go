@@ -23,8 +23,9 @@ type session struct {
 	gen     *speech.Generator
 	sampler *sampling.Sampler
 	// async replaces the synchronous sampler when background sampling is
-	// enabled; confidence queries then go through its lock.
-	async   *sampling.AsyncSampler
+	// enabled — a single AsyncSampler or a ShardedSampler depending on
+	// Config.SamplerShards; confidence queries then go through its locks.
+	async   sampling.BackgroundSource
 	model   *belief.Model
 	speaker *voice.Speaker
 	rng     *rand.Rand

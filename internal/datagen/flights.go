@@ -11,6 +11,7 @@ package datagen
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/dimension"
 	"repro/internal/olap"
@@ -24,6 +25,14 @@ type FlightsConfig struct {
 	Rows int
 	// Seed drives the deterministic generator.
 	Seed int64
+	// Workers splits row generation across that many goroutines writing
+	// disjoint row ranges. <= 1 keeps the sequential generator, whose
+	// output for a fixed Seed is unchanged from earlier versions. Parallel
+	// output is deterministic for a fixed (Seed, Workers) pair — each
+	// worker derives its own seed from Seed and its range index — but is a
+	// different, statistically equivalent, sample than the sequential
+	// stream.
+	Workers int
 }
 
 // DefaultFlightRows is the row count used when FlightsConfig.Rows is zero,
@@ -172,19 +181,24 @@ func normalizeFactors(fs []float64) []float64 {
 	return out
 }
 
-// Flights generates the synthetic flight-cancellation dataset.
-func Flights(cfg FlightsConfig) (*olap.Dataset, error) {
-	rows := cfg.Rows
-	if rows <= 0 {
-		rows = DefaultFlightRows
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// monthEntry is one month with its season and normalized factor.
+type monthEntry struct {
+	season, month string
+	factor        float64
+}
 
-	airportH, dateH, airlineH := FlightHierarchies()
+// flightModel holds the normalized per-row factors of the flight generator:
+// airport factors within each region, airline factors globally, and month
+// factors within each season, so the Table 12 marginals are preserved in
+// expectation.
+type flightModel struct {
+	airportFactor []float64
+	airlineFactor []float64
+	months        []monthEntry
+}
 
-	// Normalize airport factors within each region, airline factors
-	// globally, and month factors within each season so the Table 12
-	// marginals are preserved in expectation.
+// newFlightModel normalizes the catalog factors.
+func newFlightModel() *flightModel {
 	regionAirports := make(map[string][]int)
 	for i, a := range airportCatalog {
 		regionAirports[a.region] = append(regionAirports[a.region], i)
@@ -206,10 +220,6 @@ func Flights(cfg FlightsConfig) (*olap.Dataset, error) {
 	}
 	airlineFactor := normalizeFactors(rawAirline)
 
-	type monthEntry struct {
-		season, month string
-		factor        float64
-	}
 	var months []monthEntry
 	for _, season := range seasonOrder {
 		raw := make([]float64, len(seasonMonths[season]))
@@ -221,32 +231,50 @@ func Flights(cfg FlightsConfig) (*olap.Dataset, error) {
 			months = append(months, monthEntry{season, m.month, norm[i]})
 		}
 	}
+	return &flightModel{airportFactor: airportFactor, airlineFactor: airlineFactor, months: months}
+}
 
-	airportCol := table.NewStringColumn("airport")
-	monthCol := table.NewStringColumn("month")
-	airlineCol := table.NewStringColumn("airline")
-	cancelledCol := table.NewFloat64Column("cancelled")
-
-	for i := 0; i < rows; i++ {
-		a := rng.Intn(len(airportCatalog))
-		m := rng.Intn(len(months))
-		l := rng.Intn(len(airlineCatalog))
-		base := TableTwelve[airportCatalog[a].region][months[m].season]
-		p := base * airportFactor[a] * airlineFactor[l] * months[m].factor
-		if p > 0.95 {
-			p = 0.95
-		}
-		cancelled := 0.0
-		if rng.Float64() < p {
-			cancelled = 1.0
-		}
-		airportCol.Append(airportCatalog[a].code)
-		monthCol.Append(months[m].month)
-		airlineCol.Append(airlineCatalog[l].name)
-		cancelledCol.Append(cancelled)
+// genRow draws one flight row: catalog indices for airport, month, and
+// airline plus the cancellation flag. The rng call order is the generator's
+// wire format — changing it changes every seeded dataset.
+func (fm *flightModel) genRow(rng *rand.Rand) (a, m, l int, cancelled float64) {
+	a = rng.Intn(len(airportCatalog))
+	m = rng.Intn(len(fm.months))
+	l = rng.Intn(len(airlineCatalog))
+	base := TableTwelve[airportCatalog[a].region][fm.months[m].season]
+	p := base * fm.airportFactor[a] * fm.airlineFactor[l] * fm.months[m].factor
+	if p > 0.95 {
+		p = 0.95
 	}
+	if rng.Float64() < p {
+		cancelled = 1.0
+	}
+	return a, m, l, cancelled
+}
 
-	tab, err := table.New("flights", airportCol, monthCol, airlineCol, cancelledCol)
+// splitSeed derives the seed of worker w from the base seed; the golden
+// gamma decorrelates the derived streams (splitmix-style).
+func splitSeed(seed int64, w int) int64 {
+	const gamma = uint64(0x9E3779B97F4A7C15)
+	return seed ^ int64(uint64(w+1)*gamma)
+}
+
+// Flights generates the synthetic flight-cancellation dataset.
+func Flights(cfg FlightsConfig) (*olap.Dataset, error) {
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = DefaultFlightRows
+	}
+	model := newFlightModel()
+	airportH, dateH, airlineH := FlightHierarchies()
+
+	var tab *table.Table
+	var err error
+	if cfg.Workers > 1 {
+		tab, err = flightsParallel(cfg.Seed, rows, cfg.Workers, model)
+	} else {
+		tab, err = flightsSequential(cfg.Seed, rows, model)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("datagen: %w", err)
 	}
@@ -255,4 +283,82 @@ func Flights(cfg FlightsConfig) (*olap.Dataset, error) {
 		return nil, fmt.Errorf("datagen: %w", err)
 	}
 	return d, nil
+}
+
+// flightsSequential is the original single-stream generator; its output for
+// a fixed seed is frozen (tests pin exact aggregate values against it).
+func flightsSequential(seed int64, rows int, model *flightModel) (*table.Table, error) {
+	rng := rand.New(rand.NewSource(seed))
+	airportCol := table.NewStringColumn("airport")
+	monthCol := table.NewStringColumn("month")
+	airlineCol := table.NewStringColumn("airline")
+	cancelledCol := table.NewFloat64Column("cancelled")
+	for i := 0; i < rows; i++ {
+		a, m, l, cancelled := model.genRow(rng)
+		airportCol.Append(airportCatalog[a].code)
+		monthCol.Append(model.months[m].month)
+		airlineCol.Append(airlineCatalog[l].name)
+		cancelledCol.Append(cancelled)
+	}
+	return table.New("flights", airportCol, monthCol, airlineCol, cancelledCol)
+}
+
+// flightsParallel generates rows with the given number of workers, each
+// filling a disjoint contiguous row range of shared code and measure slices
+// from its own derived seed. Dictionaries are laid out in catalog order so
+// the drawn catalog indices are the dictionary codes — no string interning
+// on the hot path and no cross-worker coordination at all.
+func flightsParallel(seed int64, rows, workers int, model *flightModel) (*table.Table, error) {
+	if workers > rows {
+		workers = rows
+	}
+	airportCodes := make([]int32, rows)
+	monthCodes := make([]int32, rows)
+	airlineCodes := make([]int32, rows)
+	cancelled := make([]float64, rows)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * rows / workers
+		hi := (w + 1) * rows / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(splitSeed(seed, w)))
+			for i := lo; i < hi; i++ {
+				a, m, l, c := model.genRow(rng)
+				airportCodes[i] = int32(a)
+				monthCodes[i] = int32(m)
+				airlineCodes[i] = int32(l)
+				cancelled[i] = c
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	airportDict := make([]string, len(airportCatalog))
+	for i, a := range airportCatalog {
+		airportDict[i] = a.code
+	}
+	monthDict := make([]string, len(model.months))
+	for i, m := range model.months {
+		monthDict[i] = m.month
+	}
+	airlineDict := make([]string, len(airlineCatalog))
+	for i, a := range airlineCatalog {
+		airlineDict[i] = a.name
+	}
+	airportCol, err := table.NewStringColumnFromCodes("airport", airportDict, airportCodes)
+	if err != nil {
+		return nil, err
+	}
+	monthCol, err := table.NewStringColumnFromCodes("month", monthDict, monthCodes)
+	if err != nil {
+		return nil, err
+	}
+	airlineCol, err := table.NewStringColumnFromCodes("airline", airlineDict, airlineCodes)
+	if err != nil {
+		return nil, err
+	}
+	return table.New("flights", airportCol, monthCol, airlineCol,
+		table.NewFloat64ColumnFromValues("cancelled", cancelled))
 }

@@ -1,0 +1,110 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/olap"
+	"repro/internal/table"
+)
+
+// grandCancelRate evaluates the overall cancellation average exactly.
+func grandCancelRate(t *testing.T, d *olap.Dataset) float64 {
+	t.Helper()
+	q := olap.Query{
+		Fct: olap.Avg, Col: "cancelled",
+		GroupBy: []olap.GroupBy{{Hierarchy: d.HierarchyByName("start airport"), Level: 1}},
+	}
+	r, err := olap.Evaluate(d, q)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	return r.GrandValue()
+}
+
+// TestFlightsParallelDeterministic regenerates with the same seed and
+// worker count and requires identical rows.
+func TestFlightsParallelDeterministic(t *testing.T) {
+	cfg := FlightsConfig{Rows: 30000, Seed: 7, Workers: 4}
+	d1, err := Flights(cfg)
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	d2, err := Flights(cfg)
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	t1, t2 := d1.Table(), d2.Table()
+	if t1.NumRows() != cfg.Rows || t2.NumRows() != cfg.Rows {
+		t.Fatalf("row counts %d, %d, want %d", t1.NumRows(), t2.NumRows(), cfg.Rows)
+	}
+	for _, name := range []string{"airport", "month", "airline"} {
+		c1 := t1.Column(name).(*table.StringColumn)
+		c2 := t2.Column(name).(*table.StringColumn)
+		for row := 0; row < cfg.Rows; row++ {
+			if c1.StringAt(row) != c2.StringAt(row) {
+				t.Fatalf("column %s row %d: %q != %q", name, row, c1.StringAt(row), c2.StringAt(row))
+			}
+		}
+	}
+	m1 := t1.Column("cancelled").(*table.Float64Column)
+	m2 := t2.Column("cancelled").(*table.Float64Column)
+	for row := 0; row < cfg.Rows; row++ {
+		if m1.Float(row) != m2.Float(row) {
+			t.Fatalf("cancelled row %d: %v != %v", row, m1.Float(row), m2.Float(row))
+		}
+	}
+}
+
+// TestFlightsParallelWorkerCountChangesSample documents that the worker
+// count is part of the stream identity: different counts give different
+// (equally valid) samples.
+func TestFlightsParallelWorkerCountChangesSample(t *testing.T) {
+	d2, err := Flights(FlightsConfig{Rows: 30000, Seed: 7, Workers: 2})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	d4, err := Flights(FlightsConfig{Rows: 30000, Seed: 7, Workers: 4})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	a2 := d2.Table().Column("airport").(*table.StringColumn)
+	a4 := d4.Table().Column("airport").(*table.StringColumn)
+	same := true
+	for row := 0; row < 30000 && same; row++ {
+		same = a2.StringAt(row) == a4.StringAt(row)
+	}
+	if same {
+		t.Error("2-worker and 4-worker streams should differ")
+	}
+}
+
+// TestFlightsParallelStatsMatchSequential checks the parallel sample is
+// statistically equivalent to the sequential one: the exact grand
+// cancellation rates of independently drawn 100k-row datasets must agree
+// within a few standard errors.
+func TestFlightsParallelStatsMatchSequential(t *testing.T) {
+	const rows = 100000
+	seq, err := Flights(FlightsConfig{Rows: rows, Seed: 11})
+	if err != nil {
+		t.Fatalf("sequential Flights: %v", err)
+	}
+	par, err := Flights(FlightsConfig{Rows: rows, Seed: 11, Workers: 4})
+	if err != nil {
+		t.Fatalf("parallel Flights: %v", err)
+	}
+	rs, rp := grandCancelRate(t, seq), grandCancelRate(t, par)
+	// Rate ~0.016 ⇒ stderr ~0.0004 at 100k rows; 0.002 is five combined
+	// standard errors.
+	if math.Abs(rs-rp) > 0.002 {
+		t.Errorf("grand cancellation rate: sequential %v, parallel %v", rs, rp)
+	}
+	// The dictionaries must cover the same catalogs.
+	for _, name := range []string{"airport", "month", "airline"} {
+		cs := seq.Table().Column(name).(*table.StringColumn)
+		cp := par.Table().Column(name).(*table.StringColumn)
+		if len(cs.Dict()) != len(cp.Dict()) {
+			t.Errorf("column %s: dict size %d sequential, %d parallel", name, len(cs.Dict()), len(cp.Dict()))
+		}
+	}
+}

@@ -296,6 +296,20 @@ func (h *Hierarchy) Bind(t *table.Table) (*Binding, error) {
 // Hierarchy returns the bound hierarchy.
 func (b *Binding) Hierarchy() *Hierarchy { return b.hierarchy }
 
+// Accessor returns the bound column accessor.
+func (b *Binding) Accessor() table.StringAccessor { return b.column }
+
+// DictSize returns the number of distinct codes in the bound column.
+func (b *Binding) DictSize() int { return len(b.memberAt[0]) }
+
+// MemberOfCode returns the member at the given level for rows whose column
+// holds dictionary code. Scan loops use it once per code at setup time to
+// compile per-code lookup tables, then classify rows without touching
+// members at all.
+func (b *Binding) MemberOfCode(code int32, level int) *Member {
+	return b.memberAt[level][code]
+}
+
 // MemberOfRow returns the member at the given level for table row i.
 func (b *Binding) MemberOfRow(row, level int) *Member {
 	return b.memberAt[level][b.column.Code(row)]

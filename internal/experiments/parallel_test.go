@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/olap"
+)
+
+// TestEvaluateWorkersAcrossFigure3Queries runs the parallel evaluator over
+// all eight Figure 3 query shapes and requires exact count agreement and
+// 1e-9-relative sum agreement with the sequential scan for 1, 2, and
+// NumCPU workers.
+func TestEvaluateWorkersAcrossFigure3Queries(t *testing.T) {
+	s, err := NewSetup(30000, 3)
+	if err != nil {
+		t.Fatalf("NewSetup: %v", err)
+	}
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, spec := range Figure3Queries {
+		q, err := s.FlightsQuery(spec.Filter, spec.Dims)
+		if err != nil {
+			t.Fatalf("query %s,%s: %v", spec.Filter, spec.Dims, err)
+		}
+		space, err := olap.NewSpace(s.Flights, q)
+		if err != nil {
+			t.Fatalf("query %s,%s: NewSpace: %v", spec.Filter, spec.Dims, err)
+		}
+		seq, err := olap.EvaluateSpaceSequential(space)
+		if err != nil {
+			t.Fatalf("query %s,%s: sequential: %v", spec.Filter, spec.Dims, err)
+		}
+		for _, w := range workerCounts {
+			par, err := olap.EvaluateSpaceWorkers(space, w)
+			if err != nil {
+				t.Fatalf("query %s,%s workers %d: %v", spec.Filter, spec.Dims, w, err)
+			}
+			for a := 0; a < space.Size(); a++ {
+				if par.Count(a) != seq.Count(a) {
+					t.Errorf("query %s,%s workers %d agg %d: count %d, sequential %d",
+						spec.Filter, spec.Dims, w, a, par.Count(a), seq.Count(a))
+				}
+				ps, ss := par.Sum(a), seq.Sum(a)
+				if math.Abs(ps-ss) > math.Abs(ss)*1e-9+1e-12 {
+					t.Errorf("query %s,%s workers %d agg %d: sum %v, sequential %v",
+						spec.Filter, spec.Dims, w, a, ps, ss)
+				}
+			}
+		}
+	}
+}

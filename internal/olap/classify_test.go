@@ -1,0 +1,167 @@
+package olap
+
+import (
+	"testing"
+
+	"repro/internal/dimension"
+	"repro/internal/table"
+)
+
+// referenceClassify is the pre-dense classification logic, kept as the
+// oracle: per-row member lookup through the binding plus a map lookup into
+// the member position table.
+func referenceClassify(s *Space, row int) (int, bool) {
+	for _, f := range s.extraFilters {
+		if !f.binding.RowMatches(row, f.member) {
+			return 0, false
+		}
+	}
+	idx := 0
+	for d, b := range s.bindings {
+		m := b.MemberOfRow(row, s.levels[d])
+		p, within := s.memberPos[d][m]
+		if !within {
+			return 0, false
+		}
+		idx += p * s.strides[d]
+	}
+	return idx, true
+}
+
+// classifyQueries builds query shapes that exercise every dense-table path:
+// plain group-by, group-by with a narrowing filter, and an extra filter on
+// a non-grouped dimension.
+func classifyQueries(f *fixture) []Query {
+	return []Query{
+		f.regionSeasonQuery(),
+		{
+			Fct: Avg, Col: "cancelled",
+			Filters: []*dimension.Member{f.airport.FindMember("the North East")},
+			GroupBy: []GroupBy{{Hierarchy: f.date, Level: 2}},
+		},
+		{
+			Fct: Count,
+			Filters: []*dimension.Member{
+				f.airport.FindMember("the Midwest"),
+				f.date.FindMember("Winter"),
+			},
+			GroupBy: []GroupBy{{Hierarchy: f.date, Level: 2}},
+		},
+	}
+}
+
+func TestClassifyRowMatchesReference(t *testing.T) {
+	f := newFixture(t)
+	for qi, q := range classifyQueries(f) {
+		s, err := NewSpace(f.dataset, q)
+		if err != nil {
+			t.Fatalf("query %d: NewSpace: %v", qi, err)
+		}
+		n := f.dataset.Table().NumRows()
+		for row := 0; row < n; row++ {
+			wantIdx, wantOK := referenceClassify(s, row)
+			gotIdx, gotOK := s.ClassifyRow(row)
+			if wantOK != gotOK || (wantOK && wantIdx != gotIdx) {
+				t.Errorf("query %d row %d: ClassifyRow = (%d,%v), reference (%d,%v)",
+					qi, row, gotIdx, gotOK, wantIdx, wantOK)
+			}
+		}
+	}
+}
+
+func TestClassifyBatchesMatchClassifyRow(t *testing.T) {
+	f := newFixture(t)
+	for qi, q := range classifyQueries(f) {
+		s, err := NewSpace(f.dataset, q)
+		if err != nil {
+			t.Fatalf("query %d: NewSpace: %v", qi, err)
+		}
+		n := f.dataset.Table().NumRows()
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = n - 1 - i // scattered (reversed) gather order
+		}
+		byRows := make([]int32, n)
+		s.ClassifyRows(rows, byRows)
+		byRange := make([]int32, n)
+		s.ClassifyRange(0, n, byRange)
+		for i := 0; i < n; i++ {
+			idx, ok := s.ClassifyRow(i)
+			want := int32(idx)
+			if !ok {
+				want = -1
+			}
+			if byRange[i] != want {
+				t.Errorf("query %d row %d: ClassifyRange = %d, want %d", qi, i, byRange[i], want)
+			}
+			if byRows[n-1-i] != want {
+				t.Errorf("query %d row %d: ClassifyRows = %d, want %d", qi, i, byRows[n-1-i], want)
+			}
+		}
+	}
+}
+
+// TestClassifyThroughJoinView covers the accessor fallback: a star-schema
+// join view has no raw code slice, so classification goes through Code
+// calls but must agree with direct evaluation on a denormalized copy.
+func TestClassifyThroughJoinView(t *testing.T) {
+	cities := []string{"Boston", "Chicago", "Los Angeles"}
+	attr := table.NewStringColumn("city")
+	for _, c := range cities {
+		attr.Append(c)
+	}
+	fk := table.NewInt64Column("cityID")
+	flat := table.NewStringColumn("cityFlat")
+	cancelled := table.NewFloat64Column("cancelled")
+	for i := 0; i < 60; i++ {
+		k := i % 3
+		fk.Append(int64(k))
+		flat.Append(cities[k])
+		cancelled.Append(float64(i % 2))
+	}
+	tab := table.MustNew("facts", fk, flat, cancelled)
+	join, err := table.NewJoinColumn("city", fk, attr)
+	if err != nil {
+		t.Fatalf("NewJoinColumn: %v", err)
+	}
+	if err := tab.AddVirtual(join); err != nil {
+		t.Fatalf("AddVirtual: %v", err)
+	}
+
+	mkHierarchy := func(col string) *dimension.Hierarchy {
+		h := dimension.MustNewHierarchy("city", col, "flights from", "any city", []string{"city"})
+		for _, c := range cities {
+			h.MustAddPath(c)
+		}
+		return h
+	}
+	viaJoin := mkHierarchy("city")
+	viaFlat := mkHierarchy("cityFlat")
+	d, err := NewDataset(tab, viaJoin, viaFlat)
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	mkSpace := func(h *dimension.Hierarchy) *Space {
+		s, err := NewSpace(d, Query{
+			Fct: Avg, Col: "cancelled",
+			GroupBy: []GroupBy{{Hierarchy: h, Level: 1}},
+		})
+		if err != nil {
+			t.Fatalf("NewSpace: %v", err)
+		}
+		return s
+	}
+	sJoin, sFlat := mkSpace(viaJoin), mkSpace(viaFlat)
+	idxs := make([]int32, 60)
+	sJoin.ClassifyRange(0, 60, idxs)
+	for row := 0; row < 60; row++ {
+		jIdx, jOK := sJoin.ClassifyRow(row)
+		fIdx, fOK := sFlat.ClassifyRow(row)
+		if jOK != fOK || jIdx != fIdx {
+			t.Errorf("row %d: join view (%d,%v) != flat column (%d,%v)", row, jIdx, jOK, fIdx, fOK)
+		}
+		if idxs[row] != int32(jIdx) {
+			t.Errorf("row %d: join-view ClassifyRange %d, want %d", row, idxs[row], jIdx)
+		}
+	}
+}

@@ -3,6 +3,9 @@ package olap
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/table"
 )
@@ -26,16 +29,19 @@ func Evaluate(d *Dataset, q Query) (*Result, error) {
 	return EvaluateSpace(space)
 }
 
-// EvaluateSpace evaluates the query of an already constructed space.
+// EvaluateSpace evaluates the query of an already constructed space,
+// sharding the scan across runtime.GOMAXPROCS(0) workers.
 func EvaluateSpace(space *Space) (*Result, error) {
-	q := space.Query()
-	var measure *table.Float64Column
-	if q.Fct != Count {
-		var err error
-		measure, err = space.Dataset().Measure(q.Col)
-		if err != nil {
-			return nil, err
-		}
+	return EvaluateSpaceWorkers(space, runtime.GOMAXPROCS(0))
+}
+
+// EvaluateSpaceSequential evaluates the query with a single-threaded
+// row-at-a-time scan: the reference the parallel path is checked (and
+// benchmarked) against.
+func EvaluateSpaceSequential(space *Space) (*Result, error) {
+	measure, err := evalMeasure(space)
+	if err != nil {
+		return nil, err
 	}
 	r := &Result{
 		space:  space,
@@ -54,6 +60,104 @@ func EvaluateSpace(space *Space) (*Result, error) {
 		}
 	}
 	return r, nil
+}
+
+// evalChunkRows is the fixed work grain of the parallel scan. Chunk
+// boundaries depend only on the table size — never on the worker count —
+// so per-chunk partial sums always merge in the same order and the result
+// is bit-for-bit identical for any number of workers. Counts are integer
+// and match the sequential scan exactly; sums are reassociated only at
+// chunk boundaries.
+const evalChunkRows = 8192
+
+// EvaluateSpaceWorkers evaluates the query with the given number of scan
+// workers (<= 1 selects the sequential path). Workers classify fixed-size
+// row chunks into private accumulator grids through the dense batch
+// classifier; the grids merge in chunk order at the end.
+func EvaluateSpaceWorkers(space *Space, workers int) (*Result, error) {
+	n := space.Dataset().Table().NumRows()
+	if workers <= 1 || n <= evalChunkRows {
+		return EvaluateSpaceSequential(space)
+	}
+	measure, err := evalMeasure(space)
+	if err != nil {
+		return nil, err
+	}
+	var vals []float64
+	if measure != nil {
+		vals = measure.Values()
+	}
+	chunks := (n + evalChunkRows - 1) / evalChunkRows
+	if workers > chunks {
+		workers = chunks
+	}
+	type grid struct {
+		counts []int64
+		sums   []float64
+	}
+	grids := make([]grid, chunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	size := space.Size()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idxs := make([]int32, evalChunkRows)
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * evalChunkRows
+				hi := lo + evalChunkRows
+				if hi > n {
+					hi = n
+				}
+				g := grid{counts: make([]int64, size), sums: make([]float64, size)}
+				space.ClassifyRange(lo, hi, idxs)
+				if vals != nil {
+					chunkVals := vals[lo:hi]
+					for i, idx := range idxs[:hi-lo] {
+						if idx >= 0 {
+							g.counts[idx]++
+							g.sums[idx] += chunkVals[i]
+						}
+					}
+				} else {
+					for _, idx := range idxs[:hi-lo] {
+						if idx >= 0 {
+							g.counts[idx]++
+						}
+					}
+				}
+				grids[c] = g
+			}
+		}()
+	}
+	wg.Wait()
+	r := &Result{
+		space:  space,
+		counts: make([]int64, size),
+		sums:   make([]float64, size),
+	}
+	for c := range grids {
+		for a := 0; a < size; a++ {
+			r.counts[a] += grids[c].counts[a]
+			r.sums[a] += grids[c].sums[a]
+		}
+	}
+	return r, nil
+}
+
+// evalMeasure resolves the measure column of a space's query (nil for
+// count queries).
+func evalMeasure(space *Space) (*table.Float64Column, error) {
+	q := space.Query()
+	if q.Fct == Count {
+		return nil, nil
+	}
+	return space.Dataset().Measure(q.Col)
 }
 
 // Space returns the aggregate space of the result.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/dimension"
+	"repro/internal/table"
 )
 
 // Space is the enumerated aggregate space of a query: the cross product of
@@ -25,11 +26,43 @@ type Space struct {
 	extraFilters []filterCheck
 	size         int
 	strides      []int
+	// denseDims and denseFilters are the compiled classification tables:
+	// per-dimension code-indexed arrays that turn ClassifyRow into a
+	// handful of array loads with no map lookups or member pointers.
+	denseDims    []denseDim
+	denseFilters []denseFilter
 }
 
 type filterCheck struct {
 	binding *dimension.Binding
 	member  *dimension.Member
+}
+
+// denseDim classifies one group-by dimension by dictionary code.
+type denseDim struct {
+	col table.StringAccessor
+	// codes is the raw code slice when the accessor is a stored column
+	// (nil for join views, which fall back to one Code call per row).
+	codes []int32
+	// posStride[code] is the member position times the dimension stride,
+	// ready to add into the aggregate index, or -1 when the code's member
+	// is outside the query scope.
+	posStride []int32
+}
+
+// denseFilter answers "does this code match the filter member" per code.
+type denseFilter struct {
+	col   table.StringAccessor
+	codes []int32
+	ok    []bool
+}
+
+// rawCodes returns the backing code slice of an accessor when it has one.
+func rawCodes(col table.StringAccessor) []int32 {
+	if sc, ok := col.(interface{ Codes() []int32 }); ok {
+		return sc.Codes()
+	}
+	return nil
 }
 
 // NewSpace enumerates the aggregate space for q over d.
@@ -81,7 +114,47 @@ func NewSpace(d *Dataset, q Query) (*Space, error) {
 		s.strides[d] = s.size
 		s.size *= len(s.members[d])
 	}
+	s.compileDense()
 	return s, nil
+}
+
+// compileDense precomputes the per-code classification tables: for each
+// group-by dimension, a code-indexed position-times-stride value (-1 for
+// codes outside the scope); for each extra filter, a code-indexed match
+// bitset. Table dictionaries are fixed once a dataset is bound, so one
+// O(dict) pass here removes every map lookup from the per-row hot path.
+func (s *Space) compileDense() {
+	s.denseDims = make([]denseDim, len(s.bindings))
+	for d, b := range s.bindings {
+		col := b.Accessor()
+		dd := denseDim{
+			col:       col,
+			codes:     rawCodes(col),
+			posStride: make([]int32, b.DictSize()),
+		}
+		for code := range dd.posStride {
+			m := b.MemberOfCode(int32(code), s.levels[d])
+			if p, within := s.memberPos[d][m]; within {
+				dd.posStride[code] = int32(p * s.strides[d])
+			} else {
+				dd.posStride[code] = -1
+			}
+		}
+		s.denseDims[d] = dd
+	}
+	s.denseFilters = make([]denseFilter, len(s.extraFilters))
+	for i, f := range s.extraFilters {
+		col := f.binding.Accessor()
+		df := denseFilter{
+			col:   col,
+			codes: rawCodes(col),
+			ok:    make([]bool, f.binding.DictSize()),
+		}
+		for code := range df.ok {
+			df.ok[code] = f.binding.MemberOfCode(int32(code), f.member.Level) == f.member
+		}
+		s.denseFilters[i] = df
+	}
 }
 
 // Query returns the query that spans this space.
@@ -126,22 +199,143 @@ func (s *Space) IndexOf(coords []*dimension.Member) int {
 }
 
 // ClassifyRow maps a table row to its aggregate index, or returns ok=false
-// when the row is outside the query scope.
+// when the row is outside the query scope. The compiled per-code tables
+// make this a few array loads per dimension.
 func (s *Space) ClassifyRow(row int) (idx int, ok bool) {
-	for _, f := range s.extraFilters {
-		if !f.binding.RowMatches(row, f.member) {
+	for i := range s.denseFilters {
+		f := &s.denseFilters[i]
+		var code int32
+		if f.codes != nil {
+			code = f.codes[row]
+		} else {
+			code = f.col.Code(row)
+		}
+		if !f.ok[code] {
 			return 0, false
 		}
 	}
-	for d, b := range s.bindings {
-		m := b.MemberOfRow(row, s.levels[d])
-		p, within := s.memberPos[d][m]
-		if !within {
+	for d := range s.denseDims {
+		dd := &s.denseDims[d]
+		var code int32
+		if dd.codes != nil {
+			code = dd.codes[row]
+		} else {
+			code = dd.col.Code(row)
+		}
+		v := dd.posStride[code]
+		if v < 0 {
 			return 0, false
 		}
-		idx += p * s.strides[d]
+		idx += int(v)
 	}
 	return idx, true
+}
+
+// ClassifyRows classifies a batch of row indices into out (len(out) must be
+// at least len(rows)): out[i] is the aggregate index of rows[i], or -1 when
+// that row is outside the query scope. Processing is dimension-major so
+// each per-code table stays hot in cache across the whole batch.
+func (s *Space) ClassifyRows(rows []int, out []int32) {
+	for i := range rows {
+		out[i] = 0
+	}
+	for fi := range s.denseFilters {
+		f := &s.denseFilters[fi]
+		if f.codes != nil {
+			for i, r := range rows {
+				if out[i] >= 0 && !f.ok[f.codes[r]] {
+					out[i] = -1
+				}
+			}
+		} else {
+			for i, r := range rows {
+				if out[i] >= 0 && !f.ok[f.col.Code(r)] {
+					out[i] = -1
+				}
+			}
+		}
+	}
+	for d := range s.denseDims {
+		dd := &s.denseDims[d]
+		if dd.codes != nil {
+			for i, r := range rows {
+				if out[i] < 0 {
+					continue
+				}
+				if v := dd.posStride[dd.codes[r]]; v < 0 {
+					out[i] = -1
+				} else {
+					out[i] += v
+				}
+			}
+		} else {
+			for i, r := range rows {
+				if out[i] < 0 {
+					continue
+				}
+				if v := dd.posStride[dd.col.Code(r)]; v < 0 {
+					out[i] = -1
+				} else {
+					out[i] += v
+				}
+			}
+		}
+	}
+}
+
+// ClassifyRange classifies the contiguous rows [lo, hi) into out (length at
+// least hi-lo), writing the aggregate index or -1 per row. For stored
+// columns the inner loop slices the raw code array directly, which is what
+// the multicore exact scan runs per chunk.
+func (s *Space) ClassifyRange(lo, hi int, out []int32) {
+	n := hi - lo
+	for i := 0; i < n; i++ {
+		out[i] = 0
+	}
+	for fi := range s.denseFilters {
+		f := &s.denseFilters[fi]
+		if f.codes != nil {
+			codes := f.codes[lo:hi]
+			for i, code := range codes {
+				if out[i] >= 0 && !f.ok[code] {
+					out[i] = -1
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if out[i] >= 0 && !f.ok[f.col.Code(lo+i)] {
+					out[i] = -1
+				}
+			}
+		}
+	}
+	for d := range s.denseDims {
+		dd := &s.denseDims[d]
+		if dd.codes != nil {
+			codes := dd.codes[lo:hi]
+			for i, code := range codes {
+				if out[i] < 0 {
+					continue
+				}
+				if v := dd.posStride[code]; v < 0 {
+					out[i] = -1
+				} else {
+					out[i] += v
+				}
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if out[i] < 0 {
+					continue
+				}
+				if v := dd.posStride[dd.col.Code(lo+i)]; v < 0 {
+					out[i] = -1
+				} else {
+					out[i] += v
+				}
+			}
+		}
+	}
 }
 
 // InScope reports whether aggregate idx matches all the given predicate

@@ -78,7 +78,7 @@ func (a *AsyncSampler) StartContext(ctx context.Context) {
 // Stop is called.
 func (a *AsyncSampler) loop(ctx context.Context) {
 	defer close(a.done)
-	rows := make([]int, 0, a.batch)
+	rows := make([]int, a.batch)
 	for {
 		select {
 		case <-a.stop:
@@ -87,21 +87,12 @@ func (a *AsyncSampler) loop(ctx context.Context) {
 			return
 		default:
 		}
-		rows = rows[:0]
-		for len(rows) < a.batch {
-			r, ok := a.scanner.Next()
-			if !ok {
-				break
-			}
-			rows = append(rows, r)
-		}
-		if len(rows) == 0 {
+		n := table.FillBatch(a.scanner, rows)
+		if n == 0 {
 			return
 		}
 		a.mu.Lock()
-		for _, r := range rows {
-			a.cache.Insert(r)
-		}
+		a.cache.InsertBatch(rows[:n])
 		a.mu.Unlock()
 	}
 }

@@ -25,12 +25,20 @@ const DefaultResampleSize = 10
 type Cache struct {
 	space   *olap.Space
 	measure *table.Float64Column // nil for count queries
+	// measureVals is the measure's backing slice, letting batch inserts
+	// gather values with direct array loads.
+	measureVals []float64
 	// values[a] holds the measure values of cached rows for aggregate a
 	// (for count queries a placeholder 1 per row, kept for uniformity).
 	values [][]float64
 	// accs[a] maintains running moments of values[a], giving O(1)
 	// full-cache estimates.
 	accs []stats.Accumulator
+	// grand maintains running moments over all in-scope rows, giving O(1)
+	// grand estimates regardless of cache size.
+	grand stats.Accumulator
+	// scratch is the classification buffer reused across InsertBatch calls.
+	scratch []int32
 	// nonEmpty lists aggregates with at least one cached row, supporting
 	// O(1) uniform random picks.
 	nonEmpty []int
@@ -64,6 +72,7 @@ func NewCache(space *olap.Space) (*Cache, error) {
 			return nil, fmt.Errorf("sampling: %w", err)
 		}
 		c.measure = m
+		c.measureVals = m.Values()
 	}
 	return c, nil
 }
@@ -90,6 +99,39 @@ func (c *Cache) Insert(row int) {
 	}
 	c.values[idx] = append(c.values[idx], v)
 	c.accs[idx].Add(v)
+	c.grand.Add(v)
+}
+
+// InsertBatch considers a batch of rows for caching: one dense batch
+// classification followed by a tight accumulate loop, amortizing the
+// per-row call overhead of Insert. Semantically identical to calling
+// Insert for each row in order.
+func (c *Cache) InsertBatch(rows []int) {
+	if len(rows) == 0 {
+		return
+	}
+	if cap(c.scratch) < len(rows) {
+		c.scratch = make([]int32, len(rows))
+	}
+	idxs := c.scratch[:len(rows)]
+	c.space.ClassifyRows(rows, idxs)
+	c.nrRead += int64(len(rows))
+	for i, idx := range idxs {
+		if idx < 0 {
+			continue
+		}
+		c.inScope++
+		v := 1.0
+		if c.measureVals != nil {
+			v = c.measureVals[rows[i]]
+		}
+		if len(c.values[idx]) == 0 {
+			c.nonEmpty = append(c.nonEmpty, int(idx))
+		}
+		c.values[idx] = append(c.values[idx], v)
+		c.accs[idx].Add(v)
+		c.grand.Add(v)
+	}
 }
 
 // Size returns the number of cached rows for aggregate a (CA.SIZE).
@@ -184,7 +226,8 @@ func (c *Cache) Estimate(a int, rng *rand.Rand) (float64, bool) {
 // GrandEstimate estimates the aggregate value over the whole query scope
 // from all cached rows: the baseline statement is derived from it. It
 // returns ok=false until at least one in-scope row is cached (for count
-// and sum, until at least one row was read).
+// and sum, until at least one row was read). The running grand accumulator
+// makes this O(1) per call no matter how full the cache is.
 func (c *Cache) GrandEstimate() (float64, bool) {
 	if c.nrRead == 0 {
 		return 0, false
@@ -198,20 +241,19 @@ func (c *Cache) GrandEstimate() (float64, bool) {
 		if c.inScope == 0 {
 			return 0, false
 		}
-		var acc stats.Accumulator
-		for _, vs := range c.values {
-			for _, v := range vs {
-				acc.Add(v)
-			}
-		}
 		if c.space.Query().Fct == olap.Sum {
-			return countEst * acc.Mean(), true
+			return countEst * c.grand.Mean(), true
 		}
-		return acc.Mean(), true
+		return c.grand.Mean(), true
 	default:
 		panic(fmt.Sprintf("sampling: unknown aggregation function %v", c.space.Query().Fct))
 	}
 }
+
+// GrandMoments returns the running moments over all cached in-scope rows.
+// Sharded samplers merge these across shards without touching the raw
+// value lists.
+func (c *Cache) GrandMoments() stats.Accumulator { return c.grand }
 
 // PooledConfidenceInterval returns a CLT confidence interval for the
 // aggregate value over the union of the given aggregates, pooling their
@@ -255,17 +297,15 @@ func (c *Cache) PooledConfidenceInterval(aggs []int, confidence float64) (stats.
 // ConfidenceInterval returns a CLT confidence interval for the value of
 // aggregate a using all cached rows (not the fixed-size subsample: bounds
 // are reported to users, so precision matters more than constant cost).
-// ok is false when no interval can be derived.
+// The moments come straight from the per-aggregate running accumulator —
+// no pass over the cached values. ok is false when no interval can be
+// derived.
 func (c *Cache) ConfidenceInterval(a int, confidence float64) (stats.Interval, bool) {
-	vs := c.values[a]
+	acc := &c.accs[a]
 	switch c.space.Query().Fct {
 	case olap.Avg:
-		if len(vs) == 0 {
+		if acc.Count() == 0 {
 			return stats.Interval{}, false
-		}
-		var acc stats.Accumulator
-		for _, v := range vs {
-			acc.Add(v)
 		}
 		return stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence), true
 	case olap.Count:
@@ -273,19 +313,15 @@ func (c *Cache) ConfidenceInterval(a int, confidence float64) (stats.Interval, b
 			return stats.Interval{}, false
 		}
 		nrRows := float64(c.space.Dataset().Table().NumRows())
-		p := stats.ProportionConfidenceInterval(int64(len(vs)), c.nrRead, confidence)
+		p := stats.ProportionConfidenceInterval(acc.Count(), c.nrRead, confidence)
 		return stats.Interval{Lo: p.Lo * nrRows, Hi: p.Hi * nrRows}, true
 	case olap.Sum:
-		if c.nrRead == 0 || len(vs) == 0 {
+		if c.nrRead == 0 || acc.Count() == 0 {
 			return stats.Interval{}, false
 		}
 		nrRows := float64(c.space.Dataset().Table().NumRows())
-		var acc stats.Accumulator
-		for _, v := range vs {
-			acc.Add(v)
-		}
 		mean := stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence)
-		scale := nrRows * float64(len(vs)) / float64(c.nrRead)
+		scale := nrRows * float64(acc.Count()) / float64(c.nrRead)
 		return stats.Interval{Lo: mean.Lo * scale, Hi: mean.Hi * scale}, true
 	default:
 		panic(fmt.Sprintf("sampling: unknown aggregation function %v", c.space.Query().Fct))

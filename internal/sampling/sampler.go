@@ -14,6 +14,7 @@ import (
 type Sampler struct {
 	scanner table.Scanner
 	cache   *Cache
+	buf     []int
 }
 
 // NewSampler creates a cache for the query of space and a pseudo-random
@@ -36,18 +37,34 @@ func NewSamplerWithScanner(space *olap.Space, scanner table.Scanner) (*Sampler, 
 func (s *Sampler) Cache() *Cache { return s.cache }
 
 // ReadRows pulls up to n rows from the scan into the cache and returns how
-// many rows were actually read (fewer once the table is exhausted).
+// many rows were actually read (fewer once the table is exhausted). Rows
+// move in batches through the dense classifier rather than one at a time.
 func (s *Sampler) ReadRows(n int) int {
 	read := 0
 	for read < n {
-		row, ok := s.scanner.Next()
-		if !ok {
+		want := n - read
+		got := table.FillBatch(s.scanner, s.batchBuf(want))
+		if got == 0 {
 			break
 		}
-		s.cache.Insert(row)
-		read++
+		s.cache.InsertBatch(s.buf[:got])
+		read += got
 	}
 	return read
+}
+
+// batchBuf returns a reusable row buffer of at most want entries, capped at
+// the sampler's batch grain.
+func (s *Sampler) batchBuf(want int) []int {
+	const grain = 1024
+	if want > grain {
+		want = grain
+	}
+	if cap(s.buf) < want {
+		s.buf = make([]int, want)
+	}
+	s.buf = s.buf[:want]
+	return s.buf
 }
 
 // ReadRowsContext is ReadRows with a cancellation check every few rows: it
@@ -57,19 +74,21 @@ func (s *Sampler) ReadRowsContext(ctx context.Context, n int) int {
 	const checkEvery = 64
 	read := 0
 	for read < n {
-		if read%checkEvery == 0 {
-			select {
-			case <-ctx.Done():
-				return read
-			default:
-			}
+		select {
+		case <-ctx.Done():
+			return read
+		default:
 		}
-		row, ok := s.scanner.Next()
-		if !ok {
+		want := n - read
+		if want > checkEvery {
+			want = checkEvery
+		}
+		got := table.FillBatch(s.scanner, s.batchBuf(want))
+		if got == 0 {
 			break
 		}
-		s.cache.Insert(row)
-		read++
+		s.cache.InsertBatch(s.buf[:got])
+		read += got
 	}
 	return read
 }

@@ -1,0 +1,383 @@
+package sampling
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/olap"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// BackgroundSource is the contract the holistic planner needs from a
+// background sample feed: estimator access plus lifecycle control. Both the
+// single AsyncSampler and the ShardedSampler satisfy it, so the session
+// layer can swap one for the other behind a config knob.
+type BackgroundSource interface {
+	Estimator
+	// StartContext launches the background scan bound to ctx.
+	StartContext(ctx context.Context)
+	// Stop halts the scan and waits for it to finish.
+	Stop()
+	// StopWithin halts the scan, waiting at most grace for goroutine exit.
+	StopWithin(grace time.Duration) bool
+	// GrandEstimate estimates the aggregate value over the whole scope.
+	GrandEstimate() (float64, bool)
+	// NrRead returns the rows consumed so far.
+	NrRead() int64
+	// NrInScope returns the in-scope rows cached so far.
+	NrInScope() int64
+	// PooledConfidenceInterval bounds the value over a set of aggregates.
+	PooledConfidenceInterval(aggs []int, confidence float64) (stats.Interval, bool)
+}
+
+// Compile-time checks.
+var (
+	_ BackgroundSource = (*AsyncSampler)(nil)
+	_ BackgroundSource = (*ShardedSampler)(nil)
+)
+
+// samplerShard is one worker of a ShardedSampler: a private cache filled
+// from an independent pseudo-random walk over a contiguous row partition.
+// Each shard has its own lock, so scan workers never contend with each
+// other — only (briefly) with estimator reads touching their shard.
+type samplerShard struct {
+	mu      sync.Mutex
+	cache   *Cache
+	scanner table.Scanner
+	nRows   int64 // partition size
+}
+
+// ShardedSampler fills per-shard caches from concurrent background
+// goroutines, one per disjoint row partition. Estimates merge the shards by
+// stratified (Horvitz-Thompson) scaling: each shard's cache is a uniform
+// sample of its own partition, so scaling shard s by nRows_s/nrRead_s and
+// summing over shards keeps count and sum estimates unbiased; averages are
+// the ratio of the two merged estimates.
+type ShardedSampler struct {
+	space  *olap.Space
+	shards []*samplerShard
+	batch  int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	startMu  sync.Mutex
+	started  bool
+}
+
+// NewShardedSampler creates shards caches over near-equal contiguous row
+// partitions. Each shard's scan order is an independent full-cycle affine
+// walk seeded deterministically from rng. batch is the number of rows
+// inserted per shard lock acquisition (<= 0 selects 256); shards <= 0 is an
+// error, and the shard count is capped at the table's row count.
+func NewShardedSampler(space *olap.Space, rng *rand.Rand, shards, batch int) (*ShardedSampler, error) {
+	if shards <= 0 {
+		return nil, errors.New("sampling: shard count must be positive")
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	n := space.Dataset().Table().NumRows()
+	if n > 0 && shards > n {
+		shards = n
+	}
+	s := &ShardedSampler{
+		space: space,
+		batch: batch,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < shards; i++ {
+		lo := i * n / shards
+		hi := (i + 1) * n / shards
+		cache, err := NewCache(space)
+		if err != nil {
+			return nil, err
+		}
+		// One seed draw per shard keeps the walks independent and the whole
+		// construction a pure function of rng's state.
+		shardRng := rand.New(rand.NewSource(rng.Int63()))
+		s.shards = append(s.shards, &samplerShard{
+			cache:   cache,
+			scanner: table.NewRandomRangeScanner(lo, hi, shardRng),
+			nRows:   int64(hi - lo),
+		})
+	}
+	return s, nil
+}
+
+// NumShards returns the number of scan partitions.
+func (s *ShardedSampler) NumShards() int { return len(s.shards) }
+
+// Start launches the background scans. It may be called once.
+func (s *ShardedSampler) Start() { s.StartContext(context.Background()) }
+
+// StartContext launches one scan goroutine per shard, all bound to ctx:
+// scanning halts when ctx is cancelled, when Stop is called, or when every
+// partition is exhausted. It may be called once.
+func (s *ShardedSampler) StartContext(ctx context.Context) {
+	s.startMu.Lock()
+	if s.started {
+		s.startMu.Unlock()
+		return
+	}
+	s.started = true
+	s.startMu.Unlock()
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *samplerShard) {
+			defer wg.Done()
+			s.loop(ctx, sh)
+		}(sh)
+	}
+	go func() {
+		wg.Wait()
+		close(s.done)
+	}()
+}
+
+// loop drives one shard until its partition is exhausted, ctx is cancelled,
+// or Stop is called.
+func (s *ShardedSampler) loop(ctx context.Context, sh *samplerShard) {
+	rows := make([]int, s.batch)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		n := table.FillBatch(sh.scanner, rows)
+		if n == 0 {
+			return
+		}
+		sh.mu.Lock()
+		sh.cache.InsertBatch(rows[:n])
+		sh.mu.Unlock()
+	}
+}
+
+// Stop halts all shard scans and waits for them to finish. Safe to call
+// multiple times, concurrently, and before Start.
+func (s *ShardedSampler) Stop() {
+	s.startMu.Lock()
+	started := s.started
+	s.startMu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	if started {
+		<-s.done
+	}
+}
+
+// StopWithin halts the scans like Stop but waits at most grace for the
+// goroutines to exit, returning false when some shard is stuck inside its
+// scanner (a hung storage backend) and had to be abandoned.
+func (s *ShardedSampler) StopWithin(grace time.Duration) bool {
+	s.startMu.Lock()
+	started := s.started
+	s.startMu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	if !started {
+		return true
+	}
+	select {
+	case <-s.done:
+		return true
+	case <-time.After(grace):
+		return false
+	}
+}
+
+// shardMoments is the per-shard snapshot the merged estimators work from.
+type shardMoments struct {
+	nRows   int64
+	nrRead  int64
+	count   int64   // cached rows of the aggregate under consideration
+	sum     float64 // measure sum of those rows
+	inScope int64
+}
+
+// aggSnapshot collects, shard by shard under each shard's lock, the moments
+// of aggregate a (a < 0 snapshots grand moments over the whole scope).
+// Shards are sampled at slightly different instants; each shard's snapshot
+// is internally consistent, which is all stratified merging needs.
+func (s *ShardedSampler) aggSnapshot(a int) []shardMoments {
+	out := make([]shardMoments, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		m := shardMoments{nRows: sh.nRows, nrRead: sh.cache.NrRead(), inScope: sh.cache.NrInScope()}
+		if a >= 0 {
+			acc := &sh.cache.accs[a]
+			m.count, m.sum = acc.Count(), acc.Sum()
+		} else {
+			m.count, m.sum = sh.cache.grand.Count(), sh.cache.grand.Sum()
+		}
+		sh.mu.Unlock()
+		out[i] = m
+	}
+	return out
+}
+
+// merge folds per-shard moments into stratified count and sum estimates:
+// countEst = sum_s nRows_s * count_s / nrRead_s, and likewise for sums.
+// Shards with no rows read yet contribute nothing (they also have nothing
+// cached, so this only matters in the first instants of a scan).
+func mergeShardMoments(ms []shardMoments) (countEst, sumEst float64, read, cached int64) {
+	for _, m := range ms {
+		read += m.nrRead
+		cached += m.count
+		if m.nrRead == 0 {
+			continue
+		}
+		scale := float64(m.nRows) / float64(m.nrRead)
+		countEst += scale * float64(m.count)
+		sumEst += scale * m.sum
+	}
+	return countEst, sumEst, read, cached
+}
+
+// PickAggregate implements Estimator over the union of the shards: for
+// averages an aggregate is eligible once any shard cached a row for it; for
+// counts and sums every aggregate is eligible once any row was read.
+func (s *ShardedSampler) PickAggregate(rng *rand.Rand) (int, bool) {
+	if s.space.Query().Fct == olap.Avg {
+		seen := make(map[int]struct{})
+		var union []int
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for _, a := range sh.cache.nonEmpty {
+				if _, dup := seen[a]; !dup {
+					seen[a] = struct{}{}
+					union = append(union, a)
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if len(union) == 0 {
+			return 0, false
+		}
+		return union[rng.Intn(len(union))], true
+	}
+	if s.space.Size() == 0 || s.NrRead() == 0 {
+		return 0, false
+	}
+	return rng.Intn(s.space.Size()), true
+}
+
+// Estimate implements Estimator with the stratified merge. Semantics match
+// Cache.Estimate: ok is false before any row was read, and for averages
+// over aggregates with no cached rows.
+func (s *ShardedSampler) Estimate(a int, rng *rand.Rand) (float64, bool) {
+	countEst, sumEst, read, cached := mergeShardMoments(s.aggSnapshot(a))
+	if read == 0 {
+		return 0, false
+	}
+	switch s.space.Query().Fct {
+	case olap.Count:
+		return countEst, true
+	case olap.Sum:
+		return sumEst, true
+	case olap.Avg:
+		if cached == 0 || countEst == 0 {
+			return 0, false
+		}
+		return sumEst / countEst, true
+	default:
+		return 0, false
+	}
+}
+
+// GrandEstimate estimates the aggregate value over the whole query scope
+// from the merged grand moments of all shards.
+func (s *ShardedSampler) GrandEstimate() (float64, bool) {
+	countEst, sumEst, read, cached := mergeShardMoments(s.aggSnapshot(-1))
+	if read == 0 {
+		return 0, false
+	}
+	switch s.space.Query().Fct {
+	case olap.Count:
+		return countEst, true
+	case olap.Sum:
+		if cached == 0 {
+			return 0, false
+		}
+		return sumEst, true
+	case olap.Avg:
+		if cached == 0 || countEst == 0 {
+			return 0, false
+		}
+		return sumEst / countEst, true
+	default:
+		return 0, false
+	}
+}
+
+// NrRead returns the rows consumed across all shards.
+func (s *ShardedSampler) NrRead() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.cache.NrRead()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// NrInScope returns the cached (in-scope) rows across all shards.
+func (s *ShardedSampler) NrInScope() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.cache.NrInScope()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// PooledConfidenceInterval bounds the value over the union of the given
+// aggregates by merging the per-aggregate running moments across shards.
+// With near-equal partitions read at near-equal rates — exactly what the
+// sharded scan produces — pooling the strata matches the single-scan bound.
+func (s *ShardedSampler) PooledConfidenceInterval(aggs []int, confidence float64) (stats.Interval, bool) {
+	var acc stats.Accumulator
+	var read int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for _, a := range aggs {
+			shardAcc := sh.cache.accs[a]
+			acc.Merge(&shardAcc)
+		}
+		read += sh.cache.NrRead()
+		sh.mu.Unlock()
+	}
+	switch s.space.Query().Fct {
+	case olap.Avg:
+		if acc.Count() == 0 {
+			return stats.Interval{}, false
+		}
+		return stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence), true
+	case olap.Count:
+		if read == 0 {
+			return stats.Interval{}, false
+		}
+		nrRows := float64(s.space.Dataset().Table().NumRows())
+		p := stats.ProportionConfidenceInterval(acc.Count(), read, confidence)
+		return stats.Interval{Lo: p.Lo * nrRows, Hi: p.Hi * nrRows}, true
+	case olap.Sum:
+		if read == 0 || acc.Count() == 0 {
+			return stats.Interval{}, false
+		}
+		nrRows := float64(s.space.Dataset().Table().NumRows())
+		mean := stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence)
+		scale := nrRows * float64(acc.Count()) / float64(read)
+		return stats.Interval{Lo: mean.Lo * scale, Hi: mean.Hi * scale}, true
+	default:
+		return stats.Interval{}, false
+	}
+}

@@ -1,0 +1,189 @@
+package sampling
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/olap"
+)
+
+func newShardedSampler(t *testing.T, s *olap.Space, seed int64, shards, batch int) *ShardedSampler {
+	t.Helper()
+	sh, err := NewShardedSampler(s, rand.New(rand.NewSource(seed)), shards, batch)
+	if err != nil {
+		t.Fatalf("NewShardedSampler: %v", err)
+	}
+	return sh
+}
+
+func waitForRows(t *testing.T, src BackgroundSource, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for src.NrRead() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if src.NrRead() < want {
+		t.Fatalf("scan too slow: %d of %d rows", src.NrRead(), want)
+	}
+}
+
+// TestShardedSamplerDrainsTable proves the partitions are disjoint and
+// exhaustive: the shards together read every row exactly once, after which
+// the stratified estimates reproduce the exact result bit for bit (every
+// shard's scale factor collapses to one).
+func TestShardedSamplerDrainsTable(t *testing.T) {
+	for _, fct := range []olap.AggFunc{olap.Count, olap.Sum, olap.Avg} {
+		s := flightsSpace(t, fct)
+		n := int64(s.Dataset().Table().NumRows())
+		sh := newShardedSampler(t, s, 21, 4, 512)
+		sh.Start()
+		waitForRows(t, sh, n)
+		sh.Stop()
+		if sh.NrRead() != n {
+			t.Fatalf("fct %v: read %d of %d rows", fct, sh.NrRead(), n)
+		}
+		exact, err := olap.EvaluateSpace(s)
+		if err != nil {
+			t.Fatalf("EvaluateSpace: %v", err)
+		}
+		rng := rand.New(rand.NewSource(22))
+		for a := 0; a < s.Size(); a++ {
+			want := exact.Value(a)
+			got, ok := sh.Estimate(a, rng)
+			if math.IsNaN(want) {
+				if ok {
+					t.Errorf("fct %v agg %d: estimate %v for empty average", fct, a, got)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("fct %v agg %d: estimate unavailable after full drain", fct, a)
+				continue
+			}
+			if math.Abs(got-want) > math.Abs(want)*1e-9+1e-9 {
+				t.Errorf("fct %v agg %d: estimate %v, exact %v", fct, a, got, want)
+			}
+		}
+		grand, ok := sh.GrandEstimate()
+		if !ok {
+			t.Fatalf("fct %v: grand estimate unavailable", fct)
+		}
+		want := exact.GrandValue()
+		if math.Abs(grand-want) > math.Abs(want)*1e-9+1e-9 {
+			t.Errorf("fct %v: grand %v, exact %v", fct, grand, want)
+		}
+	}
+}
+
+// TestShardedSamplerConverges checks the merged estimator on a partial
+// scan: after a few thousand rows the grand estimate must sit near the
+// exact value, which a biased merge (wrong per-shard scaling) would miss.
+func TestShardedSamplerConverges(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	sh := newShardedSampler(t, s, 23, 4, 128)
+	sh.Start()
+	waitForRows(t, sh, 5000)
+	sh.Stop()
+	exact, err := olap.EvaluateSpace(s)
+	if err != nil {
+		t.Fatalf("EvaluateSpace: %v", err)
+	}
+	got, ok := sh.GrandEstimate()
+	if !ok {
+		t.Fatal("grand estimate unavailable")
+	}
+	want := exact.GrandValue()
+	if math.Abs(got-want) > 0.1*math.Abs(want)+0.01 {
+		t.Errorf("grand estimate %v too far from exact %v after %d rows", got, want, sh.NrRead())
+	}
+}
+
+func TestShardedSamplerStopIsIdempotent(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	sh := newShardedSampler(t, s, 24, 3, 64)
+	// Stop before start: no deadlock.
+	sh.Stop()
+	sh.Stop()
+	// Start after stop scans nothing (stop channel already closed).
+	sh.Start()
+	sh.Stop()
+	if !sh.StopWithin(time.Second) {
+		t.Error("StopWithin timed out after Stop")
+	}
+}
+
+func TestShardedSamplerContextCancel(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	sh := newShardedSampler(t, s, 25, 4, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	sh.StartContext(ctx)
+	waitForRows(t, sh, 256)
+	cancel()
+	if !sh.StopWithin(5 * time.Second) {
+		t.Fatal("shards did not exit after context cancellation")
+	}
+}
+
+// TestShardedSamplerHammer drives estimator reads from several goroutines
+// while the shard scans run and other goroutines call Stop and StopWithin
+// concurrently. Run under -race it proves the lock discipline: per-shard
+// mutexes for cache state, start/stop coordination via channels.
+func TestShardedSamplerHammer(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	sh := newShardedSampler(t, s, 26, 4, 64)
+	sh.Start()
+	all := make([]int, s.Size())
+	for i := range all {
+		all[i] = i
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				if agg, ok := sh.PickAggregate(rng); ok {
+					sh.Estimate(agg, rng)
+				}
+				sh.GrandEstimate()
+				sh.NrRead()
+				sh.NrInScope()
+				sh.PooledConfidenceInterval(all, 0.95)
+			}
+		}(int64(100 + g))
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sh.Stop()
+			sh.StopWithin(time.Second)
+		}()
+	}
+	wg.Wait()
+	sh.Stop()
+}
+
+func TestShardedSamplerPooledInterval(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	sh := newShardedSampler(t, s, 27, 4, 256)
+	sh.Start()
+	waitForRows(t, sh, 2000)
+	sh.Stop()
+	all := make([]int, s.Size())
+	for i := range all {
+		all[i] = i
+	}
+	iv, ok := sh.PooledConfidenceInterval(all, 0.95)
+	if !ok {
+		t.Fatal("pooled interval unavailable after 2000 rows")
+	}
+	if !(iv.Lo <= iv.Hi) {
+		t.Errorf("malformed interval [%v, %v]", iv.Lo, iv.Hi)
+	}
+}

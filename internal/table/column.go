@@ -63,6 +63,14 @@ func NewFloat64Column(name string) *Float64Column {
 	return &Float64Column{name: name}
 }
 
+// NewFloat64ColumnFromValues wraps an existing value slice as a column
+// without copying. Parallel generators fill disjoint regions of one slice
+// and hand it over in a single call; the caller must not modify values
+// afterwards.
+func NewFloat64ColumnFromValues(name string, values []float64) *Float64Column {
+	return &Float64Column{name: name, values: values}
+}
+
 // Name returns the column name.
 func (c *Float64Column) Name() string { return c.name }
 
@@ -153,6 +161,28 @@ func NewStringColumn(name string) *StringColumn {
 	return &StringColumn{name: name, index: make(map[string]int32)}
 }
 
+// NewStringColumnFromCodes builds a column from a pre-built dictionary and
+// code slice without re-hashing every row. The dictionary must list
+// distinct values and every code must index into it; parallel generators
+// use this to assemble columns from per-worker code regions. The column
+// takes ownership of both slices.
+func NewStringColumnFromCodes(name string, dict []string, codes []int32) (*StringColumn, error) {
+	index := make(map[string]int32, len(dict))
+	for i, v := range dict {
+		if _, dup := index[v]; dup {
+			return nil, fmt.Errorf("table: column %q: duplicate dictionary value %q", name, v)
+		}
+		index[v] = int32(i)
+	}
+	for i, code := range codes {
+		if code < 0 || int(code) >= len(dict) {
+			return nil, fmt.Errorf("table: column %q: row %d code %d outside dictionary of %d",
+				name, i, code, len(dict))
+		}
+	}
+	return &StringColumn{name: name, codes: codes, dict: dict, index: index}, nil
+}
+
 // Name returns the column name.
 func (c *StringColumn) Name() string { return c.name }
 
@@ -171,6 +201,11 @@ func (c *StringColumn) StringAt(i int) string { return c.dict[c.codes[i]] }
 
 // Code returns the dictionary code at row i.
 func (c *StringColumn) Code(i int) int32 { return c.codes[i] }
+
+// Codes returns the backing code slice (callers must not modify it). Scan
+// loops use it to classify rows with direct array loads instead of a
+// Code call per row.
+func (c *StringColumn) Codes() []int32 { return c.codes }
 
 // Append adds v to the column, extending the dictionary if needed.
 func (c *StringColumn) Append(v string) {

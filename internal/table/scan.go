@@ -12,6 +12,33 @@ type Scanner interface {
 	Reset()
 }
 
+// BatchScanner is an optional Scanner extension: NextBatch fills buf with
+// the next row indices and returns how many were written (0 when the
+// stream is exhausted). Native implementations amortize the per-row
+// interface dispatch of Next into one call per batch.
+type BatchScanner interface {
+	NextBatch(buf []int) int
+}
+
+// FillBatch pulls up to len(buf) rows from s into buf, using the native
+// batch implementation when the scanner provides one and falling back to
+// repeated Next calls otherwise. It returns the number of rows written.
+func FillBatch(s Scanner, buf []int) int {
+	if bs, ok := s.(BatchScanner); ok {
+		return bs.NextBatch(buf)
+	}
+	n := 0
+	for n < len(buf) {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		buf[n] = r
+		n++
+	}
+	return n
+}
+
 // SequentialScanner yields rows 0..n-1 in order.
 type SequentialScanner struct {
 	n, pos int
@@ -35,6 +62,17 @@ func (s *SequentialScanner) Next() (int, bool) {
 // Reset implements Scanner.
 func (s *SequentialScanner) Reset() { s.pos = 0 }
 
+// NextBatch implements BatchScanner.
+func (s *SequentialScanner) NextBatch(buf []int) int {
+	n := 0
+	for n < len(buf) && s.pos < s.n {
+		buf[n] = s.pos
+		s.pos++
+		n++
+	}
+	return n
+}
+
 // RandomScanner yields every row exactly once in a pseudo-random order using
 // O(1) memory: it walks a full-cycle affine sequence i -> (i*stride + offset)
 // mod n where gcd(stride, n) == 1. That gives the sample cache an unbiased
@@ -42,6 +80,7 @@ func (s *SequentialScanner) Reset() { s.pos = 0 }
 // permutation.
 type RandomScanner struct {
 	n       int
+	base    int
 	stride  int
 	offset  int
 	emitted int
@@ -51,8 +90,20 @@ type RandomScanner struct {
 // NewRandomScanner returns a scanner over all rows of t in pseudo-random
 // order derived from rng. An empty table yields an exhausted scanner.
 func NewRandomScanner(t *Table, rng *rand.Rand) *RandomScanner {
-	n := t.NumRows()
-	s := &RandomScanner{n: n}
+	return NewRandomRangeScanner(0, t.NumRows(), rng)
+}
+
+// NewRandomRangeScanner returns a scanner over rows [lo, hi) in
+// pseudo-random order derived from rng: the same full-cycle affine walk as
+// NewRandomScanner restricted to a contiguous partition. Sharded samplers
+// give each worker one partition, so every shard remains a uniform stream
+// over its rows. An empty range yields an exhausted scanner.
+func NewRandomRangeScanner(lo, hi int, rng *rand.Rand) *RandomScanner {
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	s := &RandomScanner{n: n, base: lo}
 	if n == 0 {
 		return s
 	}
@@ -88,10 +139,33 @@ func (s *RandomScanner) Next() (int, bool) {
 	if s.emitted >= s.n {
 		return 0, false
 	}
-	r := s.cur
+	r := s.base + s.cur
 	s.cur = (s.cur + s.stride) % s.n
 	s.emitted++
 	return r, true
+}
+
+// NextBatch implements BatchScanner with one bounds check per row and no
+// interface dispatch: the affine walk runs in a tight local-variable loop.
+func (s *RandomScanner) NextBatch(buf []int) int {
+	want := s.n - s.emitted
+	if want > len(buf) {
+		want = len(buf)
+	}
+	if want <= 0 {
+		return 0
+	}
+	cur, stride, n, base := s.cur, s.stride, s.n, s.base
+	for i := 0; i < want; i++ {
+		buf[i] = base + cur
+		cur += stride
+		if cur >= n {
+			cur -= n
+		}
+	}
+	s.cur = cur
+	s.emitted += want
+	return want
 }
 
 // Reset implements Scanner. The same pseudo-random order is replayed.
