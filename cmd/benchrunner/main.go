@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig3|table2|table5|table6|table7|table8|table11|table12|table13|ablations|scaling|pipeline]
+//	benchrunner [-exp all|fig3|table2|table5|table6|table7|table8|table11|table12|table13|ablations|scaling|pipeline|planner]
 //	            [-flight-rows N] [-sessions N] [-seed S]
 //	            [-workers N] [-gen-workers N] [-bench-out FILE]  (pipeline)
+//	            [-workers N] [-planner-rounds N] [-bench-out FILE]  (planner)
 //
 // Pass -flight-rows 5300000 for paper-scale runs (slower; the default
 // 200000 preserves the published shapes at a fraction of the time).
@@ -14,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,14 +30,40 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment id (all, fig3, table2, table5, table6, table7, table8, table11, table12, table13, ablations, scaling, pipeline)")
+	exp := flag.String("exp", "all", "experiment id (all, fig3, table2, table5, table6, table7, table8, table11, table12, table13, ablations, scaling, pipeline, planner)")
 	flightRows := flag.Int("flight-rows", experiments.DefaultBenchFlightRows, "flight dataset rows (paper: 5300000)")
 	sessions := flag.Int("sessions", 20, "exploratory study sessions per dataset")
 	seed := flag.Int64("seed", 1, "random seed")
-	workers := flag.Int("workers", 0, "pipeline: parallel evaluation workers (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "pipeline: eval workers (0 = GOMAXPROCS); planner: max sampling workers (0 = 4)")
 	genWorkers := flag.Int("gen-workers", 0, "pipeline: datagen workers (<= 1 sequential)")
-	benchOut := flag.String("bench-out", "BENCH_pipeline.json", "pipeline: machine-readable output file (empty to skip)")
+	plannerRounds := flag.Int("planner-rounds", 0, "planner: tree-sampling rounds per measurement (0 = 20000)")
+	benchOut := flag.String("bench-out", "", "pipeline/planner: machine-readable output file (default BENCH_<exp>.json, \"-\" to skip)")
 	flag.Parse()
+
+	// writeBench persists a machine-readable result to the per-experiment
+	// default file, an explicit override, or nowhere ("-").
+	writeBench := func(def string, write func(w io.Writer) error) error {
+		out := *benchOut
+		if out == "" {
+			out = def
+		}
+		if out == "-" {
+			return nil
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+		return nil
+	}
 
 	// The pipeline experiment generates its own dataset (it measures the
 	// generator too), so it runs before the shared setup.
@@ -47,21 +75,20 @@ func run() error {
 			return err
 		}
 		experiments.PrintPipeline(os.Stdout, res)
-		if *benchOut != "" {
-			f, err := os.Create(*benchOut)
-			if err != nil {
-				return err
-			}
-			if err := res.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Printf("wrote %s\n", *benchOut)
+		return writeBench("BENCH_pipeline.json", res.WriteJSON)
+	}
+
+	// The planner experiment likewise owns its dataset and skips the
+	// shared setup.
+	if *exp == "planner" {
+		res, err := experiments.Planner(experiments.PlannerConfig{
+			Rows: *flightRows, Seed: *seed, Rounds: *plannerRounds, MaxWorkers: *workers,
+		})
+		if err != nil {
+			return err
 		}
-		return nil
+		experiments.PrintPlanner(os.Stdout, res)
+		return writeBench("BENCH_planner.json", res.WriteJSON)
 	}
 
 	fmt.Printf("generating datasets (flights: %d rows)...\n", *flightRows)
@@ -193,7 +220,7 @@ func run() error {
 		fmt.Fprintln(w)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q; valid: all fig3 table2 table5 table6 table7 table8 table11 table12 table13 ablations scaling pipeline",
+		return fmt.Errorf("unknown experiment %q; valid: all fig3 table2 table5 table6 table7 table8 table11 table12 table13 ablations scaling pipeline planner",
 			strings.TrimSpace(*exp))
 	}
 	return nil

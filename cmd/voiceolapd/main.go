@@ -16,6 +16,12 @@
 //	           [-max-concurrent 32] [-max-body-bytes 65536]
 //	           [-log-cap 10000] [-max-sessions 1024] [-session-ttl 1h]
 //	           [-read-timeout 30s] [-write-timeout 60s] [-idle-timeout 2m]
+//	           [-debug-addr 127.0.0.1:6060]
+//
+// -debug-addr serves net/http/pprof on its own listener and mux, so
+// planner hot spots are profileable in production without ever exposing
+// profiling endpoints on the query port. It is off by default; bind it to
+// localhost or a private interface.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -55,6 +62,7 @@ func run() error {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "HTTP server write timeout (keep above -request-timeout)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
+	debugAddr := flag.String("debug-addr", "", "pprof listen address on a separate mux (empty disables; bind to localhost)")
 	flag.Parse()
 
 	fmt.Printf("generating datasets (flights: %d rows)...\n", *flightRows)
@@ -90,6 +98,29 @@ func run() error {
 	)
 	if err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		dln, derr := net.Listen("tcp", *debugAddr)
+		if derr != nil {
+			return fmt.Errorf("debug listener: %w", derr)
+		}
+		fmt.Printf("serving pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			// The profiling handlers live on their own mux and listener:
+			// the query port's handler never sees them, and the
+			// (pprof-import-polluted) http.DefaultServeMux is unused.
+			dmux := http.NewServeMux()
+			dmux.HandleFunc("/debug/pprof/", pprof.Index)
+			dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			dsrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+			if serr := dsrv.Serve(dln); serr != nil && serr != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "voiceolapd: pprof server:", serr)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

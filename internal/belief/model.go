@@ -80,7 +80,13 @@ func (m *Model) Mean(s *speech.Speech, agg int) float64 {
 		if sz <= 0 {
 			sz = m.space.ScopeSize(r.Preds)
 		}
-		if m.space.InScope(agg, r.Preds) {
+		var in bool
+		if r.Scope != nil {
+			in = r.Scope.Contains(agg) // generator-built: skip the scope-cache lookup
+		} else {
+			in = m.space.InScope(agg, r.Preds)
+		}
+		if in {
 			mean += deltas[i]
 		} else if n > sz {
 			mean -= float64(sz) * deltas[i] / float64(n-sz)

@@ -1,0 +1,201 @@
+package belief
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dimension"
+	"repro/internal/speech"
+	"repro/internal/stats"
+)
+
+// strideMenu samples cap entries evenly across the menu, so the picks
+// span several predicate scopes (adjacent menu entries share one scope
+// and would be filtered out of depth-2 extensions as duplicates).
+func strideMenu(menu []*speech.Refinement, cap int) []*speech.Refinement {
+	if len(menu) <= cap {
+		return menu
+	}
+	out := make([]*speech.Refinement, 0, cap)
+	for i := 0; i < cap; i++ {
+		out = append(out, menu[i*len(menu)/cap])
+	}
+	return out
+}
+
+// enumerateSpeeches builds every speech up to depth maxDepth from the
+// generator menu (pruned to keep the test fast) over a few baselines.
+func enumerateSpeeches(e *env, maxDepth, menuCap int) []*speech.Speech {
+	menu := strideMenu(e.gen.Refinements(nil), menuCap)
+	grand := e.result.GrandValue()
+	var out []*speech.Speech
+	for _, bv := range []float64{stats.RoundSig(grand, 1), stats.RoundSig(grand*2, 1)} {
+		base := e.baselineSpeech(bv)
+		var rec func(s *speech.Speech, depth int)
+		rec = func(s *speech.Speech, depth int) {
+			out = append(out, s)
+			if depth == maxDepth {
+				return
+			}
+			for _, r := range e.gen.Refinements(s.Refinements) {
+				found := false
+				for _, m := range menu {
+					if m == r {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue
+				}
+				rec(s.Extend(r), depth+1)
+			}
+		}
+		rec(base, 0)
+	}
+	return out
+}
+
+// TestScorerMatchesModelExactly pins the scorer's core guarantee: for
+// every enumerated speech, Score returns a float64 bit-identical to
+// Model.Quality — same additions in the same order — so any search
+// comparing qualities picks the same winner either way.
+func TestScorerMatchesModelExactly(t *testing.T) {
+	e := newEnv(t)
+	sc := e.model.NewScorer(e.result)
+	speeches := enumerateSpeeches(e, 2, 8)
+	if len(speeches) < 50 {
+		t.Fatalf("only %d speeches enumerated; fixture too small", len(speeches))
+	}
+	for i, s := range speeches {
+		want := e.model.Quality(s, e.result)
+		got := sc.Score(s)
+		if got != want {
+			t.Fatalf("speech %d (%q): scorer %v != model %v (must be bit-identical)",
+				i, s.MainText(), got, want)
+		}
+	}
+}
+
+// TestScorerMeansMatchModel checks the means vector itself, not just the
+// aggregated quality.
+func TestScorerMeansMatchModel(t *testing.T) {
+	e := newEnv(t)
+	sc := e.model.NewScorer(e.result)
+	for _, s := range enumerateSpeeches(e, 2, 4) {
+		sc.Reset(s)
+		want := e.model.Means(s)
+		got := sc.Means()
+		for a := range want {
+			if got[a] != want[a] {
+				t.Fatalf("speech %q agg %d: scorer mean %v != model mean %v",
+					s.MainText(), a, got[a], want[a])
+			}
+		}
+	}
+}
+
+// TestScorerPushPopDFS runs the scorer the way Optimal's DFS does —
+// push, recurse, pop — and checks that every intermediate state is
+// bit-identical to a fresh Reset of the same prefix.
+func TestScorerPushPopDFS(t *testing.T) {
+	e := newEnv(t)
+	sc := e.model.NewScorer(e.result)
+	fresh := e.model.NewScorer(e.result)
+	menu := strideMenu(e.gen.Refinements(nil), 6)
+	base := e.baselineSpeech(stats.RoundSig(e.result.GrandValue(), 1))
+	sc.Reset(base)
+
+	var walk func(s *speech.Speech, depth int)
+	walk = func(s *speech.Speech, depth int) {
+		if got, want := sc.Quality(), fresh.Score(s); got != want {
+			t.Fatalf("depth %d (%q): DFS quality %v != fresh quality %v",
+				depth, s.MainText(), got, want)
+		}
+		if depth == 3 {
+			return
+		}
+		for _, r := range menu {
+			sc.Push(r)
+			walk(s.Extend(r), depth+1)
+			sc.Pop()
+		}
+		// Popping back must restore the exact pre-descent state.
+		if got, want := sc.Quality(), fresh.Score(s); got != want {
+			t.Fatalf("depth %d (%q): post-pop quality %v != %v",
+				depth, s.MainText(), got, want)
+		}
+	}
+	walk(base, 0)
+}
+
+// TestScorerHandBuiltRefinement covers the fallback path for refinements
+// without a precomputed Scope bitset or ScopeSize.
+func TestScorerHandBuiltRefinement(t *testing.T) {
+	e := newEnv(t)
+	sc := e.model.NewScorer(e.result)
+	ne := e.airport.FindMember("the North East")
+	winter := e.date.FindMember("Winter")
+	s := e.baselineSpeech(0.02)
+	s = s.Extend(&speech.Refinement{Preds: []*dimension.Member{ne}, Dir: speech.Increase, Percent: 50})
+	s = s.Extend(&speech.Refinement{Preds: []*dimension.Member{winter}, Dir: speech.Decrease, Percent: 20})
+	if got, want := sc.Score(s), e.model.Quality(s, e.result); got != want {
+		t.Errorf("hand-built refinement: scorer %v != model %v", got, want)
+	}
+}
+
+// TestScorerNoBaseline covers the zero-delta path of a baseline-less
+// speech.
+func TestScorerNoBaseline(t *testing.T) {
+	e := newEnv(t)
+	sc := e.model.NewScorer(e.result)
+	menu := e.gen.Refinements(nil)
+	s := &speech.Speech{}
+	s = s.Extend(menu[0])
+	if got, want := sc.Score(s), e.model.Quality(s, e.result); got != want {
+		t.Errorf("baseline-less speech: scorer %v != model %v", got, want)
+	}
+}
+
+// TestScorerRandomChains fuzzes longer chains (beyond the planner's
+// fragment limit) against the reference model.
+func TestScorerRandomChains(t *testing.T) {
+	e := newEnv(t)
+	sc := e.model.NewScorer(e.result)
+	menu := e.gen.Refinements(nil)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		s := e.baselineSpeech(0.01 * float64(1+trial%5))
+		for i := 0; i < rng.Intn(5); i++ {
+			s = s.Extend(menu[rng.Intn(len(menu))])
+		}
+		if got, want := sc.Score(s), e.model.Quality(s, e.result); got != want {
+			t.Fatalf("trial %d (%q): scorer %v != model %v", trial, s.MainText(), got, want)
+		}
+	}
+}
+
+// TestScorerPanicsOnForeignResult mirrors Model.Quality's space check.
+func TestScorerPanicsOnForeignResult(t *testing.T) {
+	e := newEnv(t)
+	other := newEnv(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for foreign result")
+		}
+	}()
+	e.model.NewScorer(other.result)
+}
+
+// TestScorerPopEmptyPanics guards the stack discipline.
+func TestScorerPopEmptyPanics(t *testing.T) {
+	e := newEnv(t)
+	sc := e.model.NewScorer(e.result)
+	sc.Reset(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty Pop")
+		}
+	}()
+	sc.Pop()
+}

@@ -58,6 +58,12 @@ type Config struct {
 	RowsPerRound int
 	// SamplesPerRound is the number of tree samples per planning round.
 	SamplesPerRound int
+	// PlannerWorkers is the number of goroutines sampling the speech tree
+	// per planning round. 1 (the default) keeps the sequential sampler and
+	// reproduces its behavior exactly; higher values use virtual-loss
+	// parallel UCT (mcts.SampleParallelBatch) to raise sampling throughput
+	// during sentence playback on multicore machines.
+	PlannerWorkers int
 	// MinRounds is the minimum number of planning rounds before a sentence
 	// is committed, guarding quality when playback outpaces planning.
 	MinRounds int
@@ -149,6 +155,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.SamplesPerRound <= 0 {
 		c.SamplesPerRound = 4
+	}
+	if c.PlannerWorkers < 1 {
+		c.PlannerWorkers = 1
 	}
 	if c.MinRounds <= 0 {
 		c.MinRounds = 64

@@ -155,6 +155,7 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	tree.UniformPolicy = cfg.UniformTreePolicy
+	tree.SeededEval = s.seededEvalFunc(est)
 	// Tree construction overlaps preamble playback: on a simulated
 	// substrate its cost consumes playback time, never answer latency.
 	s.simCharge(tree.NodeCount())
@@ -183,7 +184,7 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 			n := readBatch(cfg.RowsPerRound)
 			rowsRead += n
 			windowRows += n
-			done, sampleErr := tree.SampleBatch(ctx, cfg.SamplesPerRound)
+			done, sampleErr := tree.SampleParallelBatch(ctx, cfg.SamplesPerRound, cfg.PlannerWorkers)
 			treeSamples += int64(done)
 			windowSamples += int64(done)
 			if sampleErr != nil {

@@ -87,8 +87,16 @@ func (o *Optimal) VocalizeContext(ctx context.Context) (*Output, error) {
 // since an extra refinement can hurt quality) and returns the maximizer of
 // exact quality. Cancellation is checked every few hundred scored speeches
 // and cuts the enumeration short, returning the best so far.
+//
+// Scoring goes through belief.Scorer's incremental apply/undo API: the DFS
+// pushes each candidate refinement as one bitset sweep off its parent's
+// means vector instead of rebuilding every mean per candidate. The scorer
+// reproduces Model.Quality bit for bit (same additions, same order), and
+// the enumeration order and the strict ">" comparison are unchanged, so
+// the chosen speech is identical to the scalar search's — only faster.
 func (o *Optimal) searchBest(ctx context.Context, s *session, result *olap.Result, scale float64, preamble *speech.Preamble) (*speech.Speech, int64) {
 	const checkEvery = 256
+	sc := s.model.NewScorer(result)
 	var best *speech.Speech
 	bestQ := -1.0
 	var scored int64
@@ -103,7 +111,7 @@ func (o *Optimal) searchBest(ctx context.Context, s *session, result *olap.Resul
 			cancelled = true
 			return
 		}
-		q := s.model.Quality(sp, result)
+		q := sc.Quality()
 		scored++
 		if q > bestQ {
 			bestQ = q
@@ -115,7 +123,9 @@ func (o *Optimal) searchBest(ctx context.Context, s *session, result *olap.Resul
 		for _, r := range s.gen.Refinements(sp.Refinements) {
 			ext := sp.Extend(r)
 			if ext.Valid(s.cfg.Prefs) {
+				sc.Push(r)
 				extend(ext)
+				sc.Pop()
 			}
 		}
 	}
@@ -124,6 +134,7 @@ func (o *Optimal) searchBest(ctx context.Context, s *session, result *olap.Resul
 			break
 		}
 		sp := &speech.Speech{Preamble: preamble, Baseline: b}
+		sc.Reset(sp)
 		extend(sp)
 	}
 	if best == nil {

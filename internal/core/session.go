@@ -122,6 +122,26 @@ func (s *session) evalFunc(est sampling.Estimator) mcts.EvalFunc {
 	}
 }
 
+// seededEvalFunc is evalFunc for parallel tree sampling: randomness comes
+// from the worker's private RNG instead of the session RNG, so workers
+// never contend on (or race over) shared generator state. The estimator
+// itself is safe to share: the synchronous cache is read-only during a
+// sampling batch (rows are inserted between batches), and the background
+// sources are internally locked.
+func (s *session) seededEvalFunc(est sampling.Estimator) mcts.SeededEvalFunc {
+	return func(sp *speech.Speech, rng *rand.Rand) (float64, bool) {
+		a, ok := est.PickAggregate(rng)
+		if !ok {
+			return 0, false
+		}
+		e, ok := est.Estimate(a, rng)
+		if !ok {
+			return 0, false
+		}
+		return s.model.Reward(sp, a, e), true
+	}
+}
+
 // simAdvance moves a simulated clock forward by the per-round cost;
 // on a real clock time passes by itself.
 func (s *session) simAdvance() {

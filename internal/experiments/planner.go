@@ -1,0 +1,671 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/belief"
+	"repro/internal/datagen"
+	"repro/internal/dimension"
+	"repro/internal/mcts"
+	"repro/internal/olap"
+	"repro/internal/sampling"
+	"repro/internal/speech"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// PlannerConfig parameterizes the planner benchmark: the exhaustive quality
+// search (scalar versus incremental scorer) and UCT sampling throughput
+// (sequential versus virtual-loss parallel).
+type PlannerConfig struct {
+	// Rows is the flight dataset size (<= 0 selects DefaultBenchFlightRows).
+	Rows int
+	// Seed drives dataset generation and all sampling RNGs.
+	Seed int64
+	// Rounds is the number of tree-sampling rounds per throughput
+	// measurement (<= 0 selects 20000).
+	Rounds int
+	// MaxWorkers is the largest parallel worker count measured; worker
+	// counts double from 2 up to it (<= 0 selects 4).
+	MaxWorkers int
+	// Dims selects the quality-kernel query shape: "CM" (default) breaks
+	// down by city and month and "SM" by state and month — paper-scale
+	// aggregate counts in the hundreds, which is what the scorer targets —
+	// while "RD" is the small region-by-season query of Figure 3. Sampling
+	// throughput always runs on the region-by-season tree (the query the
+	// holistic planner demos actually sample).
+	Dims string
+	// MaxSpeeches caps the enumerated candidate set the quality kernels
+	// are timed over (<= 0 selects 50000). All variants score the
+	// identical set, so the cap never biases the comparison.
+	MaxSpeeches int
+}
+
+// ParallelSample records one worker count of the parallel-sampling sweep.
+type ParallelSample struct {
+	Workers      int     `json:"workers"`
+	Ns           int64   `json:"ns"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// Speedup is rounds/s relative to the sequential sampler. On a
+	// single-CPU runner (see num_cpu) expect ~1x or below: virtual-loss
+	// workers only help when they run on distinct cores.
+	Speedup float64 `json:"speedup"`
+}
+
+// PlannerResult is the machine-readable record of the planner benchmark.
+// benchrunner -exp planner writes it to BENCH_planner.json.
+type PlannerResult struct {
+	Rows       int    `json:"rows"`
+	NumCPU     int    `json:"num_cpu"`
+	Query      string `json:"query"`
+	Aggregates int    `json:"aggregates"`
+
+	// Exhaustive quality search over every valid speech, three ways:
+	// legacy is the pre-optimization per-aggregate loop (member-walking
+	// scope checks, per-aggregate delta recomputation), scalar is today's
+	// Model.Quality (bitset scopes, memoized deltas), scorer is the
+	// incremental apply/undo kernel the optimal planner uses.
+	SpeechesScored    int     `json:"speeches_scored"`
+	LegacyQualityNs   int64   `json:"legacy_quality_ns"`
+	ScalarQualityNs   int64   `json:"scalar_quality_ns"`
+	ScorerQualityNs   int64   `json:"scorer_quality_ns"`
+	LegacyNsPerSpeech float64 `json:"legacy_ns_per_speech"`
+	ScalarNsPerSpeech float64 `json:"scalar_ns_per_speech"`
+	ScorerNsPerSpeech float64 `json:"scorer_ns_per_speech"`
+	// QualitySpeedup is legacy/scorer: the end-to-end gain of this
+	// optimization wave over the loop it replaced.
+	QualitySpeedup float64 `json:"quality_speedup"`
+	// ScorerSpeedup is scalar/scorer: the incremental kernel's gain over
+	// the already-bitset per-candidate loop.
+	ScorerSpeedup float64 `json:"scorer_speedup"`
+	// IdenticalChoice must be true: all three searches pick the same
+	// speech (the kernel changes evaluation order, not the math).
+	IdenticalChoice bool   `json:"identical_choice"`
+	BestSpeech      string `json:"best_speech"`
+
+	// UCT sampling throughput at fixed rounds, on the region-by-season
+	// tree (SamplingQuery).
+	SamplingQuery          string           `json:"sampling_query"`
+	TreeNodes              int              `json:"tree_nodes"`
+	Rounds                 int              `json:"rounds"`
+	SequentialNs           int64            `json:"sequential_sample_ns"`
+	SequentialRoundsPerSec float64          `json:"sequential_rounds_per_sec"`
+	Parallel               []ParallelSample `json:"parallel"`
+
+	// Allocation accounting for the sequential sampler's path pooling.
+	AllocsPerRoundPooled   float64 `json:"allocs_per_round_pooled"`
+	AllocsPerRoundUnpooled float64 `json:"allocs_per_round_unpooled"`
+}
+
+// legacyQuality replicates the planner's quality loop as it stood before
+// the scope bitsets and the incremental scorer: scope membership by walking
+// member ancestors per aggregate per refinement, and the refinement deltas
+// recomputed (and reallocated) for every aggregate. It is the honest
+// baseline for QualitySpeedup; TestLegacyQualityMatchesModel pins it to
+// Model.Quality.
+type legacyQuality struct {
+	space   *olap.Space
+	sigma   float64
+	step    float64
+	members [][]*dimension.Member
+	hiers   []*dimension.Hierarchy
+	strides []int
+}
+
+func newLegacyQuality(space *olap.Space, sigma float64) *legacyQuality {
+	l := &legacyQuality{
+		space: space,
+		sigma: sigma,
+		step:  belief.BucketStepForScale(2 * sigma),
+	}
+	stride := 1
+	l.members = make([][]*dimension.Member, space.NumDims())
+	l.hiers = make([]*dimension.Hierarchy, space.NumDims())
+	l.strides = make([]int, space.NumDims())
+	for d := space.NumDims() - 1; d >= 0; d-- {
+		ms := space.Members(d)
+		l.members[d] = ms
+		l.hiers[d] = ms[0].Hierarchy()
+		l.strides[d] = stride
+		stride *= len(ms)
+	}
+	return l
+}
+
+func (l *legacyQuality) inScope(idx int, preds []*dimension.Member) bool {
+	for _, p := range preds {
+		matched := false
+		found := false
+		for d := range l.members {
+			if l.hiers[d] == p.Hierarchy() {
+				found = true
+				coord := l.members[d][(idx/l.strides[d])%len(l.members[d])]
+				matched = coord.IsDescendantOf(p)
+				break
+			}
+		}
+		if found && !matched {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *legacyQuality) scopeSize(preds []*dimension.Member) int {
+	n := 1
+	for d := range l.members {
+		count := 0
+		for _, m := range l.members[d] {
+			all := true
+			for _, p := range preds {
+				if p.Hierarchy() == l.hiers[d] && !m.IsDescendantOf(p) {
+					all = false
+					break
+				}
+			}
+			if all {
+				count++
+			}
+		}
+		n *= count
+	}
+	return n
+}
+
+func legacyDeltas(sp *speech.Speech) []float64 {
+	deltas := make([]float64, len(sp.Refinements))
+	if sp.Baseline == nil {
+		return deltas
+	}
+	for i, r := range sp.Refinements {
+		ref := sp.Baseline.Value
+		for j := 0; j < i; j++ {
+			if sp.Refinements[j].Subsumes(r) {
+				ref += deltas[j]
+			}
+		}
+		d := ref * float64(r.Percent) / 100
+		if r.Dir == speech.Decrease {
+			d = -d
+		}
+		deltas[i] = d
+	}
+	return deltas
+}
+
+func (l *legacyQuality) mean(sp *speech.Speech, agg int) float64 {
+	if sp.Baseline == nil {
+		return 0
+	}
+	mean := sp.Baseline.Value
+	n := l.space.Size()
+	deltas := legacyDeltas(sp) // per-aggregate recomputation, as before memoization
+	for i, r := range sp.Refinements {
+		sz := r.ScopeSize
+		if sz <= 0 {
+			sz = l.scopeSize(r.Preds)
+		}
+		if l.inScope(agg, r.Preds) {
+			mean += deltas[i]
+		} else if n > sz {
+			mean -= float64(sz) * deltas[i] / float64(n-sz)
+		}
+	}
+	return mean
+}
+
+func (l *legacyQuality) quality(sp *speech.Speech, result *olap.Result) float64 {
+	var sum float64
+	var n int
+	for a := 0; a < l.space.Size(); a++ {
+		v := result.Value(a)
+		if math.IsNaN(v) {
+			continue
+		}
+		b := stats.Normal{Mu: l.mean(sp, a), Sigma: l.sigma}
+		sum += b.Prob(v-l.step/2, v+l.step/2)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// searchHooks lets exhaustiveSearch drive either a stateless per-candidate
+// scorer (score only) or the incremental scorer (reset/push/pop around the
+// DFS edges).
+type searchHooks struct {
+	reset func(sp *speech.Speech)
+	push  func(r *speech.Refinement)
+	pop   func()
+	score func(sp *speech.Speech) float64
+}
+
+// exhaustiveSearch enumerates valid speeches exactly like the optimal
+// planner (all baselines, all refinement chains up to the preference
+// limits, DFS order) and returns the quality maximizer and the candidate
+// count. limit > 0 stops the enumeration after that many candidates.
+func exhaustiveSearch(gen *speech.Generator, prefs speech.Prefs, preamble *speech.Preamble, scale float64, limit int, h searchHooks) (*speech.Speech, int) {
+	var best *speech.Speech
+	bestQ := -1.0
+	scored := 0
+	var extend func(sp *speech.Speech)
+	extend = func(sp *speech.Speech) {
+		if limit > 0 && scored >= limit {
+			return
+		}
+		q := h.score(sp)
+		scored++
+		if q > bestQ {
+			bestQ = q
+			best = sp
+		}
+		if len(sp.Refinements) >= prefs.MaxFragments {
+			return
+		}
+		for _, r := range gen.Refinements(sp.Refinements) {
+			if limit > 0 && scored >= limit {
+				return
+			}
+			ext := sp.Extend(r)
+			if ext.Valid(prefs) {
+				if h.push != nil {
+					h.push(r)
+				}
+				extend(ext)
+				if h.pop != nil {
+					h.pop()
+				}
+			}
+		}
+	}
+	for _, b := range gen.BaselineCandidates(speech.SpeechScale(scale)) {
+		if limit > 0 && scored >= limit {
+			break
+		}
+		sp := &speech.Speech{Preamble: preamble, Baseline: b}
+		if h.reset != nil {
+			h.reset(sp)
+		}
+		extend(sp)
+	}
+	return best, scored
+}
+
+// Op kinds of the recorded scoring tape: the DFS's incremental-scorer
+// calls, replayed during timing so enumeration overhead (candidate
+// generation, validity checks) is excluded from every kernel variant.
+const (
+	opReset = iota
+	opPush
+	opPop
+	opScore
+)
+
+type scoreOp struct {
+	kind int
+	sp   *speech.Speech
+	r    *speech.Refinement
+}
+
+// Planner measures the speech planner on the flights region-by-season
+// query: the exhaustive quality search three ways (legacy loop, scalar
+// model, incremental scorer) and UCT sampling throughput sequential versus
+// parallel, plus the sequential sampler's allocations per round.
+func Planner(cfg PlannerConfig) (*PlannerResult, error) {
+	rows := cfg.Rows
+	if rows <= 0 {
+		rows = DefaultBenchFlightRows
+	}
+	rounds := cfg.Rounds
+	if rounds <= 0 {
+		rounds = 20000
+	}
+	maxWorkers := cfg.MaxWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = 4
+	}
+
+	flights, err := datagen.Flights(datagen.FlightsConfig{Rows: rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	setup := &Setup{Flights: flights, Seed: cfg.Seed}
+	dims := cfg.Dims
+	if dims == "" {
+		dims = "CM"
+	}
+	var q olap.Query
+	switch dims {
+	case "SM", "CM":
+		// State by month (level 2x2) or city by month (level 3x2): the
+		// unfiltered drill-down breakdowns on both hierarchies, paper-scale
+		// aggregate counts in the hundreds. City-level coordinates also make
+		// the legacy loop's per-aggregate ancestor walks representative of a
+		// real drill-down, where predicates sit levels above the group-by.
+		level := 2
+		if dims == "CM" {
+			level = 3
+		}
+		airport := flights.HierarchyByName("start airport")
+		date := flights.HierarchyByName("flight date")
+		q = olap.Query{
+			Fct: olap.Avg, Col: "cancelled",
+			ColDescription: "average cancellation probability",
+			GroupBy: []olap.GroupBy{
+				{Hierarchy: airport, Level: level},
+				{Hierarchy: date, Level: 2},
+			},
+		}
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+	default:
+		q, err = setup.FlightsQuery("-", dims)
+		if err != nil {
+			return nil, err
+		}
+	}
+	space, err := olap.NewSpace(flights, q)
+	if err != nil {
+		return nil, err
+	}
+	result, err := olap.EvaluateSpace(space)
+	if err != nil {
+		return nil, err
+	}
+	scale := result.GrandValue()
+	sigma := belief.SigmaFromScale(scale)
+	if sigma <= 0 {
+		sigma = 1
+	}
+	model, err := belief.NewModel(space, sigma)
+	if err != nil {
+		return nil, err
+	}
+	prefs := speech.DefaultPrefs()
+	gen := speech.NewGenerator(space, prefs, speech.PercentFormat)
+	preamble := gen.NewPreamble()
+
+	// Record the optimal planner's DFS over the candidate space once as a
+	// tape of scorer operations, then time the three quality kernels over
+	// the identical candidate set with enumeration overhead excluded:
+	// what remains is exactly the per-candidate scoring loop the issue
+	// targets. All three must pick the same speech.
+	maxSpeeches := cfg.MaxSpeeches
+	if maxSpeeches <= 0 {
+		maxSpeeches = 50000
+	}
+	var tape []scoreOp
+	var speeches []*speech.Speech
+	_, scored := exhaustiveSearch(gen, prefs, preamble, scale, maxSpeeches, searchHooks{
+		reset: func(sp *speech.Speech) { tape = append(tape, scoreOp{kind: opReset, sp: sp}) },
+		push:  func(r *speech.Refinement) { tape = append(tape, scoreOp{kind: opPush, r: r}) },
+		pop:   func() { tape = append(tape, scoreOp{kind: opPop}) },
+		score: func(sp *speech.Speech) float64 {
+			tape = append(tape, scoreOp{kind: opScore, sp: sp})
+			speeches = append(speeches, sp)
+			return 0
+		},
+	})
+	legacy := newLegacyQuality(space, sigma)
+	argmax := func(quality func(sp *speech.Speech) float64) *speech.Speech {
+		var best *speech.Speech
+		bestQ := -1.0
+		for _, sp := range speeches {
+			if q := quality(sp); q > bestQ {
+				bestQ = q
+				best = sp
+			}
+		}
+		return best
+	}
+	var legacyBest, scalarBest, scorerBest *speech.Speech
+	legacyNs := timeBest(7, func() {
+		legacyBest = argmax(func(sp *speech.Speech) float64 { return legacy.quality(sp, result) })
+	})
+	scalarNs := timeBest(7, func() {
+		scalarBest = argmax(func(sp *speech.Speech) float64 { return model.Quality(sp, result) })
+	})
+	sc := model.NewScorer(result)
+	scorerNs := timeBest(7, func() {
+		var best *speech.Speech
+		bestQ := -1.0
+		for _, op := range tape {
+			switch op.kind {
+			case opReset:
+				sc.Reset(op.sp)
+			case opPush:
+				sc.Push(op.r)
+			case opPop:
+				sc.Pop()
+			case opScore:
+				if q := sc.Quality(); q > bestQ {
+					bestQ = q
+					best = op.sp
+				}
+			}
+		}
+		scorerBest = best
+	})
+	identical := legacyBest != nil && scalarBest != nil && scorerBest != nil &&
+		legacyBest.Text() == scorerBest.Text() && scalarBest.Text() == scorerBest.Text()
+
+	// UCT sampling throughput on the Figure 3 region-by-season query (the
+	// tree the holistic planner demos actually sample; its candidate
+	// space expands fully within the node budget, so rounds measure
+	// steady-state sampling, not tree growth). Estimates come from a
+	// sampling cache over the full table, rewards from the belief model —
+	// the same evaluation the planner runs, minus the voice pipeline.
+	sampleQ, err := setup.FlightsQuery("-", "RD")
+	if err != nil {
+		return nil, err
+	}
+	sampleSpace, err := olap.NewSpace(flights, sampleQ)
+	if err != nil {
+		return nil, err
+	}
+	sampleResult, err := olap.EvaluateSpace(sampleSpace)
+	if err != nil {
+		return nil, err
+	}
+	sampleScale := sampleResult.GrandValue()
+	sampleSigma := belief.SigmaFromScale(sampleScale)
+	if sampleSigma <= 0 {
+		sampleSigma = 1
+	}
+	sampleModel, err := belief.NewModel(sampleSpace, sampleSigma)
+	if err != nil {
+		return nil, err
+	}
+	sampleGen := speech.NewGenerator(sampleSpace, prefs, speech.PercentFormat)
+	cache, err := sampling.NewCache(sampleSpace)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([]int, 8192)
+	scanner := table.NewSequentialScanner(flights.Table())
+	for {
+		got := table.FillBatch(scanner, batch)
+		if got == 0 {
+			break
+		}
+		cache.InsertBatch(batch[:got])
+	}
+	seeded := func(sp *speech.Speech, rng *rand.Rand) (float64, bool) {
+		a, ok := cache.PickAggregate(rng)
+		if !ok {
+			return 0, false
+		}
+		e, ok := cache.Estimate(a, rng)
+		if !ok {
+			return 0, false
+		}
+		return sampleModel.Reward(sp, a, e), true
+	}
+	mkTree := func(seed int64, pooling bool) (*mcts.Tree, error) {
+		rng := rand.New(rand.NewSource(seed))
+		evalRng := rand.New(rand.NewSource(seed + 1))
+		eval := func(sp *speech.Speech) (float64, bool) { return seeded(sp, evalRng) }
+		tree, terr := mcts.NewTreeWithCap(sampleGen, speech.SpeechScale(sampleScale), eval, rng, 100000)
+		if terr != nil {
+			return nil, terr
+		}
+		tree.SeededEval = seeded
+		tree.DisablePathPooling = !pooling
+		return tree, nil
+	}
+	ctx := context.Background()
+	treeNodes := 0
+	measure := func(workers int) (time.Duration, error) {
+		var best time.Duration
+		for rep := 0; rep < 3; rep++ {
+			tree, terr := mkTree(cfg.Seed+int64(rep), true)
+			if terr != nil {
+				return 0, terr
+			}
+			start := time.Now()
+			if workers <= 1 {
+				_, terr = tree.SampleBatch(ctx, rounds)
+			} else {
+				_, terr = tree.SampleParallelBatch(ctx, rounds, workers)
+			}
+			d := time.Since(start)
+			if terr != nil {
+				return 0, terr
+			}
+			if best == 0 || d < best {
+				best = d
+			}
+			treeNodes = tree.NodeCount()
+		}
+		return best, nil
+	}
+	roundsPerSec := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(rounds) / d.Seconds()
+	}
+	seqNs, err := measure(1)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	var parallel []ParallelSample
+	for w := 2; w <= maxWorkers; w *= 2 {
+		d, merr := measure(w)
+		if merr != nil {
+			return nil, fmt.Errorf("experiments: %w", merr)
+		}
+		ps := ParallelSample{Workers: w, Ns: d.Nanoseconds(), RoundsPerSec: roundsPerSec(d)}
+		if d > 0 {
+			ps.Speedup = float64(seqNs) / float64(d)
+		}
+		parallel = append(parallel, ps)
+	}
+
+	// Allocations per sequential round, with and without path pooling.
+	allocsPerRound := func(pooling bool) (float64, error) {
+		tree, terr := mkTree(cfg.Seed+17, pooling)
+		if terr != nil {
+			return 0, terr
+		}
+		// Warm up memoized texts and deltas so steady-state rounds are
+		// what gets counted.
+		if _, terr = tree.SampleBatch(ctx, 64); terr != nil {
+			return 0, terr
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		if _, terr = tree.SampleBatch(ctx, rounds); terr != nil {
+			return 0, terr
+		}
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(rounds), nil
+	}
+	pooled, err := allocsPerRound(true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	unpooled, err := allocsPerRound(false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+
+	perSpeech := func(d time.Duration) float64 {
+		if scored == 0 {
+			return 0
+		}
+		return float64(d.Nanoseconds()) / float64(scored)
+	}
+	res := &PlannerResult{
+		Rows:       flights.Table().NumRows(),
+		NumCPU:     runtime.NumCPU(),
+		Query:      "-," + dims,
+		Aggregates: space.Size(),
+
+		SpeechesScored:    scored,
+		LegacyQualityNs:   legacyNs.Nanoseconds(),
+		ScalarQualityNs:   scalarNs.Nanoseconds(),
+		ScorerQualityNs:   scorerNs.Nanoseconds(),
+		LegacyNsPerSpeech: perSpeech(legacyNs),
+		ScalarNsPerSpeech: perSpeech(scalarNs),
+		ScorerNsPerSpeech: perSpeech(scorerNs),
+		IdenticalChoice:   identical,
+
+		SamplingQuery:          "-,RD",
+		TreeNodes:              treeNodes,
+		Rounds:                 rounds,
+		SequentialNs:           seqNs.Nanoseconds(),
+		SequentialRoundsPerSec: roundsPerSec(seqNs),
+		Parallel:               parallel,
+
+		AllocsPerRoundPooled:   pooled,
+		AllocsPerRoundUnpooled: unpooled,
+	}
+	if scorerBest != nil {
+		res.BestSpeech = scorerBest.MainText()
+	}
+	if scorerNs > 0 {
+		res.QualitySpeedup = float64(legacyNs) / float64(scorerNs)
+		res.ScorerSpeedup = float64(scalarNs) / float64(scorerNs)
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *PlannerResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintPlanner prints the human-readable summary.
+func PrintPlanner(w io.Writer, r *PlannerResult) {
+	fmt.Fprintf(w, "Planner — %d rows, %d aggregates (%d CPUs), query %s\n",
+		r.Rows, r.Aggregates, r.NumCPU, r.Query)
+	fmt.Fprintf(w, "  exhaustive search over %d speeches (identical choice: %v)\n",
+		r.SpeechesScored, r.IdenticalChoice)
+	fmt.Fprintf(w, "    legacy loop:        %10.0f ns/speech\n", r.LegacyNsPerSpeech)
+	fmt.Fprintf(w, "    scalar model:       %10.0f ns/speech\n", r.ScalarNsPerSpeech)
+	fmt.Fprintf(w, "    incremental scorer: %10.0f ns/speech  (%.2fx vs legacy, %.2fx vs scalar)\n",
+		r.ScorerNsPerSpeech, r.QualitySpeedup, r.ScorerSpeedup)
+	fmt.Fprintf(w, "  UCT sampling on %s, %d rounds (%d tree nodes)\n",
+		r.SamplingQuery, r.Rounds, r.TreeNodes)
+	fmt.Fprintf(w, "    sequential:         %10.0f rounds/s\n", r.SequentialRoundsPerSec)
+	for _, p := range r.Parallel {
+		fmt.Fprintf(w, "    %d workers:          %10.0f rounds/s  (speedup %.2fx)\n",
+			p.Workers, p.RoundsPerSec, p.Speedup)
+	}
+	fmt.Fprintf(w, "  allocs/round: %.1f pooled, %.1f unpooled\n",
+		r.AllocsPerRoundPooled, r.AllocsPerRoundUnpooled)
+}

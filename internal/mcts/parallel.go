@@ -1,0 +1,179 @@
+package mcts
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/speech"
+)
+
+// SeededEvalFunc is the parallel-safe variant of EvalFunc: the sampler
+// passes each worker's private RNG, so implementations draw randomness
+// from the argument instead of shared state.
+type SeededEvalFunc func(s *speech.Speech, rng *rand.Rand) (reward float64, ok bool)
+
+// SampleParallelBatch performs up to rounds sampling rounds spread over
+// the given number of worker goroutines, using virtual loss: each worker
+// increments Visits along its descent path *before* evaluating, so
+// concurrent descents see in-flight rounds as already-taken losses and
+// spread across the tree instead of piling onto one leaf. Rewards are
+// backed up atomically; rounds whose evaluation produces no reward revert
+// their visit increments, so after the batch the statistics are exactly
+// those of the reward-producing rounds.
+//
+// workers <= 1 delegates to the sequential SampleBatch before consuming
+// any RNG state, so a single-worker batch is byte-identical to the
+// sequential planner. Worker RNGs are split deterministically from the
+// tree's RNG: a fixed seed gives a reproducible set of worker streams
+// (though the interleaving of rounds remains scheduling-dependent).
+//
+// It returns the number of reward-producing rounds and ctx.Err() when
+// cancellation cut the batch short.
+func (t *Tree) SampleParallelBatch(ctx context.Context, rounds, workers int) (int, error) {
+	if workers <= 1 || rounds <= 1 {
+		return t.SampleBatch(ctx, rounds)
+	}
+	if workers > rounds {
+		workers = rounds
+	}
+	seeds := make([]int64, workers)
+	for i := range seeds {
+		seeds[i] = t.rng.Int63()
+	}
+	var remaining atomic.Int64
+	remaining.Store(int64(rounds))
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var path []*Node
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				if remaining.Add(-1) < 0 {
+					return
+				}
+				var ok bool
+				path, ok = t.sampleParallel(rng, path)
+				if ok {
+					done.Add(1)
+				}
+			}
+		}(seeds[w])
+	}
+	wg.Wait()
+	return int(done.Load()), ctx.Err()
+}
+
+// sampleParallel is one parallel MCTS round. path is the worker's pooled
+// descent scratch (returned for reuse; nil allocates).
+func (t *Tree) sampleParallel(rng *rand.Rand, path []*Node) ([]*Node, bool) {
+	if t.DisablePathPooling {
+		path = nil
+	}
+	n := t.root
+	path = append(path[:0], n)
+	atomic.AddInt64(&n.Visits, 1) // virtual loss
+	for {
+		if !n.expanded.Load() {
+			t.expand(n)
+		}
+		if n.IsLeaf() {
+			break
+		}
+		n = t.maxUCTChildAtomic(n, rng)
+		atomic.AddInt64(&n.Visits, 1) // virtual loss
+		path = append(path, n)
+	}
+	r, ok := t.evalParallel(t.Speech(n), rng)
+	if !ok {
+		// No reward: revert the virtual losses so failed rounds leave no
+		// trace, matching the sequential sampler's "update nothing".
+		for _, p := range path {
+			atomic.AddInt64(&p.Visits, -1)
+		}
+		return path, false
+	}
+	for _, p := range path {
+		atomicAddFloat64(&p.Reward, r)
+	}
+	return path, true
+}
+
+// evalParallel scores a leaf speech from a worker: the seeded evaluator
+// when available, else the sequential evaluator behind a mutex.
+func (t *Tree) evalParallel(sp *speech.Speech, rng *rand.Rand) (float64, bool) {
+	if t.SeededEval != nil {
+		return t.SeededEval(sp, rng)
+	}
+	t.evalMu.Lock()
+	defer t.evalMu.Unlock()
+	return t.eval(sp)
+}
+
+// maxUCTChildAtomic is maxUCTChild with atomic statistics reads and no
+// per-call allocation: unvisited children are picked uniformly by
+// reservoir sampling; a child whose visits drop to zero mid-scan (a
+// concurrent failed round reverting its virtual loss) is taken
+// immediately, the moral equivalent of its +Inf UCT score.
+func (t *Tree) maxUCTChildAtomic(n *Node, rng *rand.Rand) *Node {
+	if t.UniformPolicy {
+		return n.Children[rng.Intn(len(n.Children))]
+	}
+	var pick *Node
+	unvisited := 0
+	for _, c := range n.Children {
+		if atomic.LoadInt64(&c.Visits) == 0 {
+			unvisited++
+			if rng.Intn(unvisited) == 0 {
+				pick = c
+			}
+		}
+	}
+	if pick != nil {
+		return pick
+	}
+	logN := math.Log(float64(atomic.LoadInt64(&n.Visits)))
+	var best *Node
+	bestScore := math.Inf(-1)
+	for _, c := range n.Children {
+		v := atomic.LoadInt64(&c.Visits)
+		if v == 0 {
+			return c
+		}
+		score := atomicLoadFloat64(&c.Reward)/float64(v) + math.Sqrt(2*logN/float64(v))
+		if score > bestScore {
+			bestScore = score
+			best = c
+		}
+	}
+	return best
+}
+
+// atomicAddFloat64 accumulates delta into *addr with a CAS loop; Go's
+// sync/atomic has no float64 add, and rewards back up from every worker.
+func atomicAddFloat64(addr *float64, delta float64) {
+	bits := (*uint64)(unsafe.Pointer(addr))
+	for {
+		old := atomic.LoadUint64(bits)
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if atomic.CompareAndSwapUint64(bits, old, next) {
+			return
+		}
+	}
+}
+
+// atomicLoadFloat64 reads *addr atomically.
+func atomicLoadFloat64(addr *float64) float64 {
+	return math.Float64frombits(atomic.LoadUint64((*uint64)(unsafe.Pointer(addr))))
+}

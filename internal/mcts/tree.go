@@ -16,6 +16,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/speech"
 )
@@ -45,9 +47,16 @@ type Node struct {
 	// mainLen is the running MainText length for O(1) validity checks.
 	mainLen int
 
-	expanded bool
-	// speech memoizes the materialized speech once requested.
-	speech *speech.Speech
+	// expanded flips to true only after Children is fully built, so a
+	// lock-free load that observes true also observes the children
+	// (release/acquire via the atomic). mu serializes the build itself
+	// when parallel workers race to lazily expand the same node.
+	expanded atomic.Bool
+	mu       sync.Mutex
+	// speechMemo memoizes the materialized speech once requested; atomic
+	// so parallel workers can share it. A lost race rebuilds an identical
+	// speech — benign.
+	speechMemo atomic.Pointer[speech.Speech]
 }
 
 // IsLeaf reports whether the node has no children. Before expansion a node
@@ -81,7 +90,20 @@ type Tree struct {
 	// picks. It exists for the ablation benchmarks quantifying what the
 	// exploration/exploitation balance buys.
 	UniformPolicy bool
-	nodeCount     int
+	// SeededEval, when set, is used by SampleParallelBatch instead of the
+	// sequential evaluator: each worker passes its own RNG, so evaluation
+	// needs no shared mutable state. When nil, parallel workers serialize
+	// calls to the sequential evaluator behind evalMu.
+	SeededEval SeededEvalFunc
+	// DisablePathPooling turns off reuse of the per-round descent path
+	// slice (and per-worker scratch in the parallel sampler). It exists
+	// for the allocs/round ablation in the planner benchmark.
+	DisablePathPooling bool
+
+	nodeCount atomic.Int64
+	// pathScratch is the pooled descent path of the sequential Sample.
+	pathScratch []*Node
+	evalMu      sync.Mutex
 }
 
 // DefaultMaxNodes bounds eager tree construction. The paper's queries stay
@@ -115,7 +137,15 @@ func NewTreeWithCap(gen *speech.Generator, scale float64, eval EvalFunc, rng *ra
 		scale:    scale,
 		MaxNodes: maxNodes,
 	}
-	t.nodeCount = 1
+	t.nodeCount.Store(1)
+	// Prewarm the generator menu and the per-refinement text memos now:
+	// candidate refinements are shared across the whole tree, and lazy
+	// expansion during a parallel batch must never be the first caller of
+	// an unsynchronized memoization.
+	for _, r := range gen.Refinements(nil) {
+		r.Text()
+	}
+	t.preamble.Text()
 	t.expand(t.root)
 	return t, nil
 }
@@ -124,14 +154,14 @@ func NewTreeWithCap(gen *speech.Generator, scale float64, eval EvalFunc, rng *ra
 func (t *Tree) Root() *Node { return t.root }
 
 // NodeCount returns the number of allocated nodes.
-func (t *Tree) NodeCount() int { return t.nodeCount }
+func (t *Tree) NodeCount() int { return int(t.nodeCount.Load()) }
 
 // Speech materializes the speech represented by node n (which must belong
 // to this tree): the preamble, the path's baseline, and its refinements in
 // order. The result is memoized on the node.
 func (t *Tree) Speech(n *Node) *speech.Speech {
-	if n.speech != nil {
-		return n.speech
+	if sp := n.speechMemo.Load(); sp != nil {
+		return sp
 	}
 	sp := &speech.Speech{Preamble: t.preamble}
 	if n.depth > 0 {
@@ -145,7 +175,7 @@ func (t *Tree) Speech(n *Node) *speech.Speech {
 			sp.Baseline = cur.baseline
 		}
 	}
-	n.speech = sp
+	n.speechMemo.Store(sp)
 	return sp
 }
 
@@ -177,26 +207,33 @@ func (n *Node) hasScopeOnPath(r *speech.Refinement) bool {
 // node budget lasts; past the budget, descendants expand lazily. Validity
 // (character and fragment limits, duplicate scopes) is checked with O(k)
 // incremental state instead of materializing candidate speeches.
+//
+// Expansion is safe under concurrent sampling: the per-node mutex
+// serializes rival builders (double-checked against the expanded flag),
+// children become visible before the flag flips, and nodes past the flag
+// are never rebuilt.
 func (t *Tree) expand(n *Node) {
-	if n.expanded {
+	if n.expanded.Load() {
 		return
 	}
-	n.expanded = true
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.expanded.Load() {
+		return
+	}
 	prefs := t.gen.Prefs
 	maxChars := prefs.MaxCharsEffective()
+	var children []*Node
 	if n.baseline == nil && n.Parent == nil {
 		for _, b := range t.gen.BaselineCandidates(speech.SpeechScale(t.scale)) {
 			c := &Node{Parent: n, baseline: b, mainLen: len(b.Text())}
 			if maxChars > 0 && c.mainLen > maxChars {
 				continue
 			}
-			n.Children = append(n.Children, c)
-			t.nodeCount++
+			children = append(children, c)
+			t.nodeCount.Add(1)
 		}
-	} else {
-		if prefs.MaxFragments > 0 && n.depth >= prefs.MaxFragments {
-			return
-		}
+	} else if prefs.MaxFragments <= 0 || n.depth < prefs.MaxFragments {
 		for _, r := range t.gen.Refinements(n.pathRefinements()) {
 			ln := n.mainLen + 1 + len(r.Text())
 			if maxChars > 0 && ln > maxChars {
@@ -206,16 +243,18 @@ func (t *Tree) expand(n *Node) {
 				continue
 			}
 			c := &Node{Parent: n, ref: r, depth: n.depth + 1, mainLen: ln}
-			n.Children = append(n.Children, c)
-			t.nodeCount++
+			children = append(children, c)
+			t.nodeCount.Add(1)
 		}
 	}
-	if t.nodeCount >= t.MaxNodes {
+	n.Children = children
+	n.expanded.Store(true)
+	if t.nodeCount.Load() >= int64(t.MaxNodes) {
 		return
 	}
 	for _, c := range n.Children {
 		t.expand(c)
-		if t.nodeCount >= t.MaxNodes {
+		if t.nodeCount.Load() >= int64(t.MaxNodes) {
 			return
 		}
 	}
@@ -228,14 +267,25 @@ func (t *Tree) maxUCTChild(n *Node) *Node {
 	if t.UniformPolicy {
 		return n.Children[t.rng.Intn(len(n.Children))]
 	}
-	var unvisited []*Node
+	// Unvisited children are counted and the pick re-scanned by ordinal
+	// rather than collected into a slice: one Intn draw either way (the
+	// RNG stream is pinned by golden tests), zero allocations per level.
+	unvisited := 0
 	for _, c := range n.Children {
 		if c.Visits == 0 {
-			unvisited = append(unvisited, c)
+			unvisited++
 		}
 	}
-	if len(unvisited) > 0 {
-		return unvisited[t.rng.Intn(len(unvisited))]
+	if unvisited > 0 {
+		k := t.rng.Intn(unvisited)
+		for _, c := range n.Children {
+			if c.Visits == 0 {
+				if k == 0 {
+					return c
+				}
+				k--
+			}
+		}
 	}
 	logN := math.Log(float64(n.Visits))
 	var best *Node
@@ -257,9 +307,16 @@ func (t *Tree) maxUCTChild(n *Node) *Node {
 // updated then).
 func (t *Tree) Sample() bool {
 	n := t.root
-	path := []*Node{n}
+	// The descent path is pooled across rounds: its length is bounded by
+	// the fragment limit, and one slice per round was the planner loop's
+	// dominant allocation.
+	path := t.pathScratch[:0]
+	if t.DisablePathPooling {
+		path = nil
+	}
+	path = append(path, n)
 	for {
-		if !n.expanded {
+		if !n.expanded.Load() {
 			t.expand(n)
 		}
 		if n.IsLeaf() {
@@ -267,6 +324,9 @@ func (t *Tree) Sample() bool {
 		}
 		n = t.maxUCTChild(n)
 		path = append(path, n)
+	}
+	if !t.DisablePathPooling {
+		t.pathScratch = path
 	}
 	r, ok := t.eval(t.Speech(n))
 	if !ok {

@@ -70,13 +70,41 @@ func EvaluateSpaceSequential(space *Space) (*Result, error) {
 // chunk boundaries.
 const evalChunkRows = 8192
 
+// evalParallelMinRows is the smallest table for which the parallel scan
+// pays for its goroutine fan-out and grid merge. Below it (or with a
+// single usable CPU) the "parallel" path was measurably slower than the
+// sequential scan — BENCH_pipeline.json recorded a 0.985x speedup on a
+// one-CPU machine — so EvaluateSpaceWorkers falls back to the sequential
+// scan instead.
+const evalParallelMinRows = 4 * evalChunkRows
+
+// evalWorkers returns the effective worker count for an n-row scan: 1
+// (the sequential path) when the caller asked for one worker, when the
+// table is below evalParallelMinRows, or when only one CPU can run; the
+// requested count capped by GOMAXPROCS and the chunk count otherwise.
+func evalWorkers(n, workers int) int {
+	if workers <= 1 || n < evalParallelMinRows {
+		return 1
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if chunks := (n + evalChunkRows - 1) / evalChunkRows; workers > chunks {
+		workers = chunks
+	}
+	return workers
+}
+
 // EvaluateSpaceWorkers evaluates the query with the given number of scan
-// workers (<= 1 selects the sequential path). Workers classify fixed-size
-// row chunks into private accumulator grids through the dense batch
-// classifier; the grids merge in chunk order at the end.
+// workers. Workers classify fixed-size row chunks into private
+// accumulator grids through the dense batch classifier; the grids merge
+// in chunk order at the end. Requests that cannot win from parallelism
+// (one worker, one CPU, or a small table — see evalWorkers) take the
+// sequential path; the result is bit-for-bit identical either way.
 func EvaluateSpaceWorkers(space *Space, workers int) (*Result, error) {
 	n := space.Dataset().Table().NumRows()
-	if workers <= 1 || n <= evalChunkRows {
+	workers = evalWorkers(n, workers)
+	if workers <= 1 {
 		return EvaluateSpaceSequential(space)
 	}
 	measure, err := evalMeasure(space)

@@ -3,6 +3,7 @@ package olap
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/dimension"
 	"repro/internal/table"
@@ -31,6 +32,11 @@ type Space struct {
 	// handful of array loads with no map lookups or member pointers.
 	denseDims    []denseDim
 	denseFilters []denseFilter
+	// scopeCache memoizes refinement-scope bitsets (scopeKey -> *ScopeSet)
+	// so InScope/ScopeSize are word-indexed loads after the first request
+	// for a scope. A sync.Map because the parallel planner resolves scopes
+	// from many sampling workers at once.
+	scopeCache sync.Map
 }
 
 type filterCheck struct {
@@ -342,8 +348,18 @@ func (s *Space) ClassifyRange(lo, hi int, out []int32) {
 // members (each predicate is a member of one of the group-by hierarchies;
 // the aggregate's coordinate in that hierarchy must be a descendant).
 // Predicates on hierarchies that are not grouped match everything (the
-// query filter already restricted them).
+// query filter already restricted them). The check is one bitset load
+// against the cached ScopeSet of preds; inScopeRef is the member-walking
+// reference implementation the bitsets are verified against.
 func (s *Space) InScope(idx int, preds []*dimension.Member) bool {
+	if len(preds) == 0 {
+		return true
+	}
+	return s.ScopeSet(preds).Contains(idx)
+}
+
+// inScopeRef is the pre-bitset reference implementation of InScope.
+func (s *Space) inScopeRef(idx int, preds []*dimension.Member) bool {
 	for _, p := range preds {
 		matched := false
 		found := false
@@ -362,12 +378,22 @@ func (s *Space) InScope(idx int, preds []*dimension.Member) bool {
 	return true
 }
 
-// ScopeSize returns the number of aggregates matching all predicates:
-// per group-by dimension, the count of admissible members lying in the
-// subtree of every predicate on that hierarchy (multiple predicates on
-// one hierarchy intersect — distinct siblings have an empty scope).
-// Computed in O(dims x members) without enumerating the aggregate space.
+// ScopeSize returns the number of aggregates matching all predicates
+// (multiple predicates on one hierarchy intersect — distinct siblings
+// have an empty scope). It is the cached popcount of the scope's bitset;
+// scopeSizeRef is the counting reference implementation.
 func (s *Space) ScopeSize(preds []*dimension.Member) int {
+	if len(preds) == 0 {
+		return s.size
+	}
+	return s.ScopeSet(preds).Size()
+}
+
+// scopeSizeRef is the pre-bitset reference implementation of ScopeSize:
+// per group-by dimension, the count of admissible members lying in the
+// subtree of every predicate on that hierarchy, multiplied across
+// dimensions without enumerating the aggregate space.
+func (s *Space) scopeSizeRef(preds []*dimension.Member) int {
 	n := 1
 	for d := range s.members {
 		h := s.bindings[d].Hierarchy()

@@ -189,17 +189,18 @@ func (g *Generator) fullMenu() []*Refinement {
 	}
 	var out []*Refinement
 	emit := func(ps []*dimension.Member) {
-		m := g.Space.ScopeSize(ps)
+		ss := g.Space.ScopeSet(ps)
+		m := ss.Size()
 		if m == 0 || m >= g.Space.Size() {
 			return
 		}
 		for _, pct := range percents {
-			out = append(out, &Refinement{Preds: ps, Dir: Increase, Percent: pct, ScopeSize: m})
+			out = append(out, &Refinement{Preds: ps, Dir: Increase, Percent: pct, ScopeSize: m, Scope: ss})
 			// "Values decrease by 100 percent" would claim zero (and
 			// beyond 100, negative) values; natural speech caps decreases
 			// below that.
 			if pct < 100 {
-				out = append(out, &Refinement{Preds: ps, Dir: Decrease, Percent: pct, ScopeSize: m})
+				out = append(out, &Refinement{Preds: ps, Dir: Decrease, Percent: pct, ScopeSize: m, Scope: ss})
 			}
 		}
 	}

@@ -3,8 +3,10 @@ package speech
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dimension"
+	"repro/internal/olap"
 	"repro/internal/stats"
 )
 
@@ -87,6 +89,11 @@ type Refinement struct {
 	// ScopeSize is the number of result aggregates within scope (m in the
 	// paper's semantics), precomputed at candidate generation time.
 	ScopeSize int
+	// Scope is the precomputed membership bitset of Preds over the query's
+	// aggregate space, set at candidate generation time. Scorers use it to
+	// sweep a refinement's scope in one bitset pass; nil (hand-built
+	// refinements) falls back to Space.InScope.
+	Scope *olap.ScopeSet
 
 	text string // memoized rendering
 }
@@ -151,6 +158,13 @@ type Speech struct {
 	Preamble    *Preamble
 	Baseline    *Baseline
 	Refinements []*Refinement
+
+	// deltas memoizes Deltas(). Clone and Extend return fresh structs, so a
+	// memo can never describe a stale refinement list; the atomic pointer
+	// makes the lazy fill safe when parallel planner workers share a node's
+	// speech. Duplicate computation under contention is benign — the value
+	// is deterministic.
+	deltas atomic.Pointer[[]float64]
 }
 
 // Clone returns a copy sharing the immutable fragments but with an
@@ -224,8 +238,19 @@ func (s *Speech) NumFragments() int {
 // Deltas returns the additive change of each refinement under the paper's
 // semantics: refinement percentages are relative to the baseline value
 // adjusted by every preceding refinement whose scope subsumes this one.
-// The result is independent of any particular aggregate.
+// The result is independent of any particular aggregate. It is memoized —
+// scoring walks every aggregate of every sampled estimate through the same
+// deltas — so callers must not mutate the returned slice.
 func (s *Speech) Deltas() []float64 {
+	if p := s.deltas.Load(); p != nil {
+		return *p
+	}
+	deltas := s.computeDeltas()
+	s.deltas.Store(&deltas)
+	return deltas
+}
+
+func (s *Speech) computeDeltas() []float64 {
 	deltas := make([]float64, len(s.Refinements))
 	if s.Baseline == nil {
 		return deltas
