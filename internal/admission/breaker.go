@@ -1,0 +1,176 @@
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit state.
+type BreakerState int
+
+const (
+	// BreakerClosed passes requests to the protected (holistic) path.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen routes everything to the fallback until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen lets a single probe through to test recovery.
+	BreakerHalfOpen
+)
+
+// String names the state for metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive deadline blowouts that trips
+	// the breaker; <= 0 disables it (Allow always true).
+	Threshold int
+	// Cooldown is how long the breaker stays open before a half-open
+	// probe, and how long a lost probe is waited for (default 10s).
+	Cooldown time.Duration
+	// Now is the clock, stubbed in tests (default time.Now).
+	Now func() time.Time
+}
+
+// normalize fills defaults.
+func (c BreakerConfig) normalize() BreakerConfig {
+	if c.Cooldown <= 0 {
+		c.Cooldown = 10 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker trips an expensive path to its fallback after consecutive
+// deadline blowouts. One breaker guards one dataset: a dataset whose scans
+// stall must not condemn every other dataset to the fallback.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecutive int
+	openedAt    time.Time
+	probeOut    bool
+	probeAt     time.Time
+	trips       int64
+}
+
+// NewBreaker returns a breaker for cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.normalize()}
+}
+
+// Enabled reports whether a trip threshold is set.
+func (b *Breaker) Enabled() bool { return b.cfg.Threshold > 0 }
+
+// Allow reports whether the protected path may run now. While open it
+// returns false until the cooldown elapses, then admits exactly one
+// half-open probe (re-armed if the probe's outcome never arrives).
+func (b *Breaker) Allow() bool {
+	if !b.Enabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probeOut, b.probeAt = true, now
+		return true
+	default: // BreakerHalfOpen
+		if b.probeOut && now.Sub(b.probeAt) < b.cfg.Cooldown {
+			return false
+		}
+		// The previous probe was lost (canceled client, crashed worker);
+		// send another rather than staying half-open forever.
+		b.probeOut, b.probeAt = true, now
+		return true
+	}
+}
+
+// Record reports one protected-path outcome: blowout is true when the
+// request blew its deadline. Consecutive blowouts trip the breaker; any
+// success resets the count (or closes a half-open breaker).
+func (b *Breaker) Record(blowout bool) {
+	if !b.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.cfg.Now()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probeOut = false
+		if blowout {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.trips++
+		} else {
+			b.state = BreakerClosed
+			b.consecutive = 0
+		}
+	case BreakerClosed:
+		if !blowout {
+			b.consecutive = 0
+			return
+		}
+		b.consecutive++
+		if b.consecutive >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+			b.trips++
+		}
+	default: // BreakerOpen: late outcomes from before the trip are noise.
+	}
+}
+
+// State returns the current circuit state.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// CooldownRemaining reports how long an open breaker stays closed to the
+// protected path (zero when not open) — shed responses fold it into their
+// Retry-After hint.
+func (b *Breaker) CooldownRemaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cfg.Cooldown - b.cfg.Now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// Trips counts transitions into the open state.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

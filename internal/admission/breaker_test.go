@@ -1,0 +1,126 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestBreaker builds a 3-blowout breaker with a 10s cooldown on a
+// manual clock.
+func newTestBreaker() (*Breaker, *fakeClock) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second, Now: clk.Now})
+	return b, clk
+}
+
+func TestBreakerTripsOnConsecutiveBlowoutsOnly(t *testing.T) {
+	b, _ := newTestBreaker()
+	b.Record(true)
+	b.Record(true)
+	b.Record(false) // a success resets the streak
+	b.Record(true)
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed (streak broken by a success)", b.State())
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive blowouts = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker must refuse the protected path")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerHalfOpenProbeClosesOnSuccess(t *testing.T) {
+	b, clk := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		b.Record(true)
+	}
+	if b.Allow() {
+		t.Fatal("breaker must stay open inside the cooldown")
+	}
+	if rem := b.CooldownRemaining(); rem != 10*time.Second {
+		t.Errorf("CooldownRemaining = %v, want 10s", rem)
+	}
+	clk.Advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: one half-open probe must be admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("only one probe may be outstanding")
+	}
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Error("closed breaker must admit")
+	}
+}
+
+func TestBreakerHalfOpenProbeReopensOnBlowout(t *testing.T) {
+	b, clk := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		b.Record(true)
+	}
+	clk.Advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe must be admitted")
+	}
+	b.Record(true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open again", b.State())
+	}
+	if b.Allow() {
+		t.Error("reopened breaker must refuse until the next cooldown")
+	}
+	if b.Trips() != 2 {
+		t.Errorf("trips = %d, want 2", b.Trips())
+	}
+}
+
+func TestBreakerLostProbeIsRearmed(t *testing.T) {
+	b, clk := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		b.Record(true)
+	}
+	clk.Advance(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe must be admitted")
+	}
+	// The probe's outcome never arrives (client hung up). After another
+	// cooldown the breaker sends a fresh probe instead of wedging.
+	clk.Advance(11 * time.Second)
+	if !b.Allow() {
+		t.Error("lost probe must be re-armed after a cooldown")
+	}
+}
+
+func TestBreakerDisabledWithoutThreshold(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	if b.Enabled() {
+		t.Fatal("zero threshold must disable the breaker")
+	}
+	for i := 0; i < 100; i++ {
+		b.Record(true)
+	}
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Error("disabled breaker must always admit")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	want := map[BreakerState]string{BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), name)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package admission
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Step is one rung of the brownout degradation ladder. Higher steps trade
+// answer quality for latency headroom; the top rung sheds.
+type Step int
+
+const (
+	// StepFull plans with the configured holistic budget.
+	StepFull Step = iota
+	// StepReduced plans with a cut-down budget (fewer MCTS rounds, a
+	// smaller tree): cheaper speech, still holistic.
+	StepReduced
+	// StepPrior answers with the prior baseline: exact evaluation, no
+	// planning — the degrade-not-error second path.
+	StepPrior
+	// StepShed refuses new queries until latency recovers.
+	StepShed
+)
+
+// NumSteps is the ladder length.
+const NumSteps = 4
+
+// String names the step for counters and logs.
+func (s Step) String() string {
+	switch s {
+	case StepFull:
+		return "full"
+	case StepReduced:
+		return "reduced"
+	case StepPrior:
+		return "prior"
+	case StepShed:
+		return "shed"
+	default:
+		return "unknown"
+	}
+}
+
+// BrownoutConfig tunes a Brownout controller.
+type BrownoutConfig struct {
+	// Target is the p99 service-latency goal; 0 disables the controller
+	// (Step stays StepFull).
+	Target time.Duration
+	// Window is the sliding sample count the p99 is computed over
+	// (default 64).
+	Window int
+	// MinSamples gates step decisions until the window has this many
+	// fresh samples (default Window/4), so one slow request after a step
+	// change cannot whipsaw the ladder.
+	MinSamples int
+	// Hold is the minimum dwell time between step changes (default 2s).
+	Hold time.Duration
+	// Recover scales Target for stepping back down: the ladder descends
+	// when p99 < Recover*Target (default 0.5). The gap is the hysteresis
+	// band that prevents oscillation at the threshold.
+	Recover float64
+	// Now is the clock, stubbed in tests (default time.Now).
+	Now func() time.Time
+}
+
+// normalize fills defaults.
+func (c BrownoutConfig) normalize() BrownoutConfig {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 4
+		if c.MinSamples < 4 {
+			c.MinSamples = 4
+		}
+	}
+	if c.Hold <= 0 {
+		c.Hold = 2 * time.Second
+	}
+	if c.Recover <= 0 || c.Recover >= 1 {
+		c.Recover = 0.5
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Brownout watches a sliding p99 of service latencies and walks the
+// degradation ladder: up a step while the p99 overshoots the target, down
+// a step once it has clearly recovered. Samples are cleared on every step
+// change so each rung is judged by its own latencies, not its
+// predecessor's backlog.
+type Brownout struct {
+	cfg BrownoutConfig
+
+	mu          sync.Mutex
+	samples     []time.Duration
+	next        int
+	count       int
+	step        Step
+	lastChange  time.Time
+	lastP99     time.Duration
+	transitions [NumSteps]int64
+}
+
+// NewBrownout returns a controller for cfg.
+func NewBrownout(cfg BrownoutConfig) *Brownout {
+	cfg = cfg.normalize()
+	return &Brownout{cfg: cfg, samples: make([]time.Duration, cfg.Window)}
+}
+
+// Enabled reports whether a latency target is set.
+func (b *Brownout) Enabled() bool { return b.cfg.Target > 0 }
+
+// Step returns the current ladder rung.
+func (b *Brownout) Step() Step {
+	if !b.Enabled() {
+		return StepFull
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.step
+}
+
+// Observe records one service latency and re-evaluates the ladder.
+func (b *Brownout) Observe(d time.Duration) {
+	if !b.Enabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.samples[b.next] = d
+	b.next = (b.next + 1) % len(b.samples)
+	if b.count < len(b.samples) {
+		b.count++
+	}
+	if b.count < b.cfg.MinSamples {
+		return
+	}
+	b.lastP99 = percentile(b.samples[:b.count], 0.99)
+	now := b.cfg.Now()
+	if !b.lastChange.IsZero() && now.Sub(b.lastChange) < b.cfg.Hold {
+		return
+	}
+	switch {
+	case b.lastP99 > b.cfg.Target && b.step < StepShed:
+		b.setStepLocked(b.step+1, now)
+	case float64(b.lastP99) < b.cfg.Recover*float64(b.cfg.Target) && b.step > StepFull:
+		b.setStepLocked(b.step-1, now)
+	}
+}
+
+// setStepLocked moves to step and resets the window so the new rung is
+// judged on fresh samples.
+func (b *Brownout) setStepLocked(step Step, now time.Time) {
+	b.step = step
+	b.lastChange = now
+	b.transitions[step]++
+	b.next, b.count = 0, 0
+}
+
+// BrownoutSnapshot reports the controller state for metrics.
+type BrownoutSnapshot struct {
+	// Step is the current rung.
+	Step Step `json:"-"`
+	// StepName is its spoken name.
+	StepName string `json:"step"`
+	// P99MS is the last computed sliding p99 in milliseconds.
+	P99MS float64 `json:"p99Ms"`
+	// Transitions counts entries into each rung by name (the ladder
+	// engaging and recovering).
+	Transitions map[string]int64 `json:"transitions"`
+}
+
+// Snapshot returns the current state.
+func (b *Brownout) Snapshot() BrownoutSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tr := make(map[string]int64, NumSteps)
+	for i, n := range b.transitions {
+		if n > 0 {
+			tr[Step(i).String()] = n
+		}
+	}
+	return BrownoutSnapshot{
+		Step:        b.step,
+		StepName:    b.step.String(),
+		P99MS:       float64(b.lastP99) / float64(time.Millisecond),
+		Transitions: tr,
+	}
+}
+
+// percentile returns the p-quantile of samples (copied, then sorted).
+func percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

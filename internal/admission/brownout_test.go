@@ -1,0 +1,129 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// newTestBrownout builds a controller with a 100ms p99 target, an 8-sample
+// window, and a 1s hold, on a manual clock.
+func newTestBrownout() (*Brownout, *fakeClock) {
+	clk := newFakeClock()
+	b := NewBrownout(BrownoutConfig{
+		Target:     100 * time.Millisecond,
+		Window:     8,
+		MinSamples: 4,
+		Hold:       time.Second,
+		Now:        clk.Now,
+	})
+	return b, clk
+}
+
+// driveTo observes lat repeatedly (advancing the clock past the hold
+// window as it goes) until the ladder reaches want. It stops on the
+// transition observation, so the sample window is freshly reset when it
+// returns.
+func driveTo(t *testing.T, b *Brownout, clk *fakeClock, lat time.Duration, want Step) {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		if b.Step() == want {
+			return
+		}
+		b.Observe(lat)
+		clk.Advance(250 * time.Millisecond)
+	}
+	t.Fatalf("ladder never reached %v (stuck at %v)", want, b.Step())
+}
+
+func TestBrownoutClimbsLadderUnderSustainedOverload(t *testing.T) {
+	b, clk := newTestBrownout()
+	if b.Step() != StepFull {
+		t.Fatalf("initial step = %v, want full", b.Step())
+	}
+	driveTo(t, b, clk, 300*time.Millisecond, StepReduced)
+	driveTo(t, b, clk, 300*time.Millisecond, StepPrior)
+	driveTo(t, b, clk, 300*time.Millisecond, StepShed)
+	// The ladder tops out at shed.
+	for i := 0; i < 20; i++ {
+		b.Observe(300 * time.Millisecond)
+		clk.Advance(250 * time.Millisecond)
+	}
+	if b.Step() != StepShed {
+		t.Fatalf("step beyond shed: %v", b.Step())
+	}
+}
+
+func TestBrownoutHoldGatesConsecutiveSteps(t *testing.T) {
+	b, _ := newTestBrownout()
+	// A full window of slow samples with no clock movement: exactly one
+	// step — the hold window blocks the second.
+	for i := 0; i < 16; i++ {
+		b.Observe(300 * time.Millisecond)
+	}
+	if b.Step() != StepReduced {
+		t.Fatalf("step = %v, want reduced (one step per hold window)", b.Step())
+	}
+}
+
+func TestBrownoutRecoversStepByStep(t *testing.T) {
+	b, clk := newTestBrownout()
+	driveTo(t, b, clk, 300*time.Millisecond, StepPrior)
+	// The cheaper rung delivers: latency falls well under the 50ms
+	// descend threshold, and the ladder walks back down one rung at a
+	// time.
+	driveTo(t, b, clk, 10*time.Millisecond, StepReduced)
+	driveTo(t, b, clk, 10*time.Millisecond, StepFull)
+	snap := b.Snapshot()
+	if snap.Transitions["reduced"] != 2 || snap.Transitions["prior"] != 1 || snap.Transitions["full"] != 1 {
+		t.Errorf("transitions = %v, want reduced:2 prior:1 full:1", snap.Transitions)
+	}
+	if snap.StepName != "full" {
+		t.Errorf("snapshot step = %q, want full", snap.StepName)
+	}
+}
+
+func TestBrownoutHysteresisHoldsAtModerateLatency(t *testing.T) {
+	b, clk := newTestBrownout()
+	driveTo(t, b, clk, 300*time.Millisecond, StepReduced)
+	// 80ms is under the 100ms climb threshold but over the 50ms descend
+	// threshold: the ladder must hold its rung, not oscillate.
+	for i := 0; i < 40; i++ {
+		b.Observe(80 * time.Millisecond)
+		clk.Advance(250 * time.Millisecond)
+	}
+	if b.Step() != StepReduced {
+		t.Errorf("step under moderate latency = %v, want reduced (hysteresis)", b.Step())
+	}
+}
+
+func TestBrownoutMinSamplesGateDecisions(t *testing.T) {
+	b, _ := newTestBrownout()
+	for i := 0; i < 3; i++ { // below MinSamples=4
+		b.Observe(time.Second)
+	}
+	if b.Step() != StepFull {
+		t.Errorf("step after 3 samples = %v, want full (gated)", b.Step())
+	}
+}
+
+func TestBrownoutDisabledWithoutTarget(t *testing.T) {
+	b := NewBrownout(BrownoutConfig{})
+	if b.Enabled() {
+		t.Fatal("zero target must disable the controller")
+	}
+	for i := 0; i < 100; i++ {
+		b.Observe(time.Hour)
+	}
+	if b.Step() != StepFull {
+		t.Errorf("disabled controller step = %v, want full", b.Step())
+	}
+}
+
+func TestStepStrings(t *testing.T) {
+	want := map[Step]string{StepFull: "full", StepReduced: "reduced", StepPrior: "prior", StepShed: "shed"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), name)
+		}
+	}
+}

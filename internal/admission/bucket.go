@@ -1,0 +1,30 @@
+package admission
+
+import "time"
+
+// bucket is a continuous-refill token bucket. It is not self-locking; the
+// Controller serializes access under its mutex.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take refills by the elapsed time and consumes one token; false when the
+// bucket is empty. A fresh bucket starts full so new tenants get their
+// burst immediately.
+func (b *bucket) take(now time.Time, rate, burst float64) bool {
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -81,6 +81,46 @@ func (s *Session) popHistory() bool {
 	return true
 }
 
+// clone deep-copies a snapshot's mutable maps and slices.
+func (s snapshot) clone() snapshot {
+	c := snapshot{
+		fct:     s.fct,
+		levels:  make(map[*dimension.Hierarchy]int, len(s.levels)),
+		order:   append([]*dimension.Hierarchy{}, s.order...),
+		filters: make(map[*dimension.Hierarchy]*dimension.Member, len(s.filters)),
+	}
+	for h, l := range s.levels {
+		c.levels[h] = l
+	}
+	for h, m := range s.filters {
+		c.filters[h] = m
+	}
+	return c
+}
+
+// Clone returns an independent deep copy of the session's exploration
+// state, including the undo history (the immutable dataset is shared).
+// The web layer stages Parse on a clone so a request shed by admission
+// control afterwards leaves the live session untouched — a client retry
+// must not double-apply the keyword command.
+func (s *Session) Clone() *Session {
+	c := &Session{
+		dataset: s.dataset,
+		fct:     s.fct,
+		col:     s.col,
+		colDesc: s.colDesc,
+		history: make([]snapshot, len(s.history)),
+	}
+	cur := s.capture()
+	c.levels, c.order, c.filters = cur.levels, cur.order, cur.filters
+	// History snapshots must be copied too: popHistory installs a
+	// snapshot's maps as the live state, which later mutates them.
+	for i, snap := range s.history {
+		c.history[i] = snap.clone()
+	}
+	return c
+}
+
 // NewSession starts a session for the dataset's given measure. The initial
 // state groups by the first level of the first hierarchy, so the first
 // query is always valid.

@@ -300,3 +300,47 @@ func TestNewSessionNoDimensions(t *testing.T) {
 		t.Error("session over dimensionless dataset should fail")
 	}
 }
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := newFlightsSession(t)
+	if _, err := s.Parse("break down by season"); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	before := s.Summary()
+
+	// Mutating the clone — including via its own undo history — must not
+	// leak into the original.
+	c := s.Clone()
+	if c.Summary() != before {
+		t.Fatalf("clone summary = %q, want %q", c.Summary(), before)
+	}
+	if _, err := c.Parse("also by region"); err != nil {
+		t.Fatalf("clone Parse: %v", err)
+	}
+	if _, err := c.Parse("back"); err != nil {
+		t.Fatalf("clone back: %v", err)
+	}
+	if _, err := c.Parse("drill down into the season"); err != nil {
+		t.Fatalf("clone drill: %v", err)
+	}
+	if got := s.Summary(); got != before {
+		t.Errorf("original mutated by clone activity: %q, want %q", got, before)
+	}
+
+	// And the other direction: the original keeps evolving freely.
+	if _, err := s.Parse("reset"); err != nil {
+		t.Fatalf("Parse reset: %v", err)
+	}
+	if c.Summary() == s.Summary() {
+		t.Error("clone should not follow the original after Clone")
+	}
+
+	// The clone carries the undo history: backing out twice returns it to
+	// the pre-clone state.
+	if _, err := c.Parse("back"); err != nil {
+		t.Fatalf("clone second back: %v", err)
+	}
+	if c.Summary() != before {
+		t.Errorf("clone after undo = %q, want %q", c.Summary(), before)
+	}
+}

@@ -4,12 +4,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/faults"
+	"repro/internal/speech"
+	"repro/internal/voice"
 )
 
 // TestServeGracefulDrainsInFlightOnSIGTERM proves the daemon contract: a
@@ -56,10 +64,10 @@ func TestServeGracefulDrainsInFlightOnSIGTERM(t *testing.T) {
 		inFlight <- resp.StatusCode
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(srv.sem) == 0 && time.Now().Before(deadline) {
+	for srv.adm.InFlight() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if len(srv.sem) == 0 {
+	if srv.adm.InFlight() == 0 {
 		t.Fatal("query never reached vocalization")
 	}
 
@@ -159,10 +167,10 @@ func TestServeGracefulExpiredGraceCutsStragglers(t *testing.T) {
 		}
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for len(srv.sem) == 0 && time.Now().Before(deadline) {
+	for srv.adm.InFlight() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if len(srv.sem) == 0 {
+	if srv.adm.InFlight() == 0 {
 		t.Fatal("query never reached vocalization")
 	}
 	cancel()
@@ -173,5 +181,147 @@ func TestServeGracefulExpiredGraceCutsStragglers(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("ServeGraceful never returned after the grace window")
+	}
+}
+
+// TestSIGTERMShedsQueueAndDrainsDegraded is the drain-under-overload
+// contract: SIGTERM with a full admission queue and injected storage
+// faults sheds every queued request cleanly (503, not a hang or 500)
+// while the in-flight request finishes with a degraded but grammar-valid
+// answer.
+func TestSIGTERMShedsQueueAndDrainsDegraded(t *testing.T) {
+	flights, err := datagen.Flights(datagen.FlightsConfig{Rows: 5000, Seed: 131})
+	if err != nil {
+		t.Fatalf("Flights: %v", err)
+	}
+	// Storage chaos on every scan: slow rows plus periodic truncation.
+	injector := faults.NewInjector(faults.InjectorOptions{
+		SlowEvery: 2, SlowDelay: 50 * time.Microsecond, FailEvery: 3,
+	})
+	cfg := core.Config{
+		Seed:                 1,
+		Clock:                voice.NewSimClock(),
+		SimRoundCost:         time.Millisecond,
+		MaxRoundsPerSentence: 100,
+		Percents:             []int{50, 100},
+		Scanner:              injector.Scanner,
+	}
+	srv, err := NewServerWith(cfg, Options{
+		MaxConcurrent:  1,
+		QueueDepth:     4,
+		RequestTimeout: time.Second,
+	}, DatasetInfo{Name: "flights", Dataset: flights, MeasureCol: "cancelled",
+		MeasureDesc: "average cancellation probability", Format: speech.PercentFormat})
+	if err != nil {
+		t.Fatalf("NewServerWith: %v", err)
+	}
+	hold := make(chan struct{})
+	srv.holdVocalize = hold
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv.RegisterOnShutdown(srv.StartDrain)
+	served := make(chan error, 1)
+	go func() {
+		served <- ServeGraceful(context.Background(), httpSrv, ln, 10*time.Second, syscall.SIGUSR1)
+	}()
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Get(base + "/api/datasets")
+	if err != nil {
+		t.Fatalf("GET datasets: %v", err)
+	}
+	resp.Body.Close()
+
+	post := func(session string, out chan<- int) {
+		b, _ := json.Marshal(map[string]string{
+			"session": session, "dataset": "flights",
+			"input": "break down by season", "method": "this",
+		})
+		resp, err := http.Post(base+"/api/query", "application/json", bytes.NewReader(b))
+		if err != nil {
+			out <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		out <- resp.StatusCode
+	}
+
+	inFlight := make(chan int, 1)
+	go post("inflight", inFlight)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.adm.InFlight() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.adm.InFlight() == 0 {
+		t.Fatal("query never reached vocalization")
+	}
+	queued := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go post(fmt.Sprintf("queued-%d", i), queued)
+	}
+	for srv.adm.QueueLen() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if srv.adm.QueueLen() < 3 {
+		t.Fatalf("queue depth = %d, want 3", srv.adm.QueueLen())
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	// The shutdown hook drains the queue: every queued request is shed
+	// promptly even though the slot-holder is still mid-vocalize.
+	for i := 0; i < 3; i++ {
+		select {
+		case code := <-queued:
+			if code != http.StatusServiceUnavailable {
+				t.Errorf("queued request %d finished with %d, want 503", i, code)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queued request never shed during drain")
+		}
+	}
+
+	// Hold the in-flight request past its own deadline so its answer is
+	// forced through the degradation path, then let it finish.
+	time.Sleep(1100 * time.Millisecond)
+	close(hold)
+	select {
+	case code := <-inFlight:
+		if code != http.StatusOK {
+			t.Errorf("in-flight request finished with %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never finished")
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Errorf("ServeGraceful = %v, want nil (clean drain)", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ServeGraceful never returned")
+	}
+
+	// The drained answer is degraded but still inside the speech grammar.
+	srv.mu.Lock()
+	entries := srv.log.snapshot()
+	srv.mu.Unlock()
+	if len(entries) != 1 {
+		t.Fatalf("query log has %d entries, want only the drained one", len(entries))
+	}
+	e := entries[0]
+	if !e.Degraded {
+		t.Error("in-flight answer held past its deadline should be degraded")
+	}
+	if !(speech.Parser{}).Conforms(e.Speech) {
+		t.Errorf("drained answer not grammar-valid: %q", e.Speech)
+	}
+	if st := injector.Stats(); st.Scans == 0 {
+		t.Error("fault injector never saw a scan; chaos path untested")
 	}
 }

@@ -95,10 +95,10 @@ func TestSaturatedServerReturns503(t *testing.T) {
 	}()
 	// Wait until the first request holds the admission slot.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(srv.sem) == 0 && time.Now().Before(deadline) {
+	for srv.adm.InFlight() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if len(srv.sem) == 0 {
+	if srv.adm.InFlight() == 0 {
 		t.Fatal("first request never acquired the admission slot")
 	}
 

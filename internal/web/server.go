@@ -4,11 +4,16 @@
 // for every single query, and receive the speech text (a browser would
 // hand it to a TTS API). Queries are logged server-side as in the study.
 //
-// The server is hardened for sustained traffic: every request runs under
-// a deadline (vocalizers degrade rather than hang), panics become 500s, a
-// semaphore bounds concurrent vocalizations (503 + Retry-After beyond
-// it), the query log is a fixed-capacity ring, and idle sessions are
-// evicted by TTL and LRU.
+// The server is hardened for sustained multi-tenant traffic: every
+// request runs under a deadline (vocalizers degrade rather than hang),
+// panics become 500s, the query log is a fixed-capacity ring, and idle
+// sessions are evicted by TTL and LRU. Overload is governed by the
+// internal/admission layer: per-tenant token buckets and a weighted-fair
+// bounded queue in front of the vocalizers (429/503 + load-derived
+// Retry-After beyond them), a brownout ladder that trades answer quality
+// for latency headroom, and per-dataset circuit breakers that trip the
+// holistic planner to the prior baseline after consecutive deadline
+// blowouts.
 package web
 
 import (
@@ -21,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/encode"
@@ -55,6 +61,10 @@ type QueryLogEntry struct {
 	LatencyMS float64   `json:"latencyMs"`
 	// Degraded marks answers cut short by the request deadline.
 	Degraded bool `json:"degraded,omitempty"`
+	// ServedBy is the vocalizer that actually answered; it differs from
+	// Method when the brownout ladder or a circuit breaker forced the
+	// prior fallback.
+	ServedBy string `json:"servedBy,omitempty"`
 }
 
 // Options tunes the server's robustness knobs. The zero value selects the
@@ -67,10 +77,45 @@ type Options struct {
 	// MaxBodyBytes caps the /api/query request body (default 64 KiB).
 	MaxBodyBytes int64
 	// MaxConcurrent bounds concurrent vocalizations; requests beyond it
-	// receive 503 with a Retry-After hint (default 32).
+	// (and beyond QueueDepth) receive 503 with a Retry-After hint
+	// (default 32).
 	MaxConcurrent int
-	// RetryAfter is the hint attached to 503 responses (default 1s).
+	// RetryAfter is the floor of the Retry-After hint attached to shed
+	// responses; the hint grows with the admission queue's predicted wait
+	// and any open breaker's cooldown (default 1s).
 	RetryAfter time.Duration
+	// QueueDepth bounds requests waiting in the weighted-fair admission
+	// queue once every vocalization slot is busy. 0 (the default) sheds
+	// immediately at saturation, matching the pre-admission behavior.
+	QueueDepth int
+	// TenantRate is the per-tenant token-bucket refill rate in requests
+	// per second; 0 disables per-tenant rate limiting (the default).
+	// Over-rate requests receive 429.
+	TenantRate float64
+	// TenantBurst is the per-tenant bucket capacity (default: one second
+	// of TenantRate, at least 1).
+	TenantBurst int
+	// TenantWeights gives named tenants a larger fair share of admission
+	// grants under contention (default weight 1).
+	TenantWeights map[string]int
+	// BrownoutTarget is the p99 vocalize-latency goal for the brownout
+	// ladder; when the sliding p99 overshoots it the server steps down
+	// through reduced planner budgets, the prior baseline, and finally
+	// sheds. 0 disables the ladder (the default).
+	BrownoutTarget time.Duration
+	// BrownoutWindow is the sliding sample count the p99 is computed
+	// over (default 64).
+	BrownoutWindow int
+	// BrownoutHold is the minimum dwell time between ladder steps
+	// (default 2s).
+	BrownoutHold time.Duration
+	// BreakerThreshold trips a dataset's circuit breaker — holistic
+	// requests fall back to the prior baseline — after this many
+	// consecutive deadline blowouts. 0 disables breakers (the default).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// half-open probe (default 10s).
+	BreakerCooldown time.Duration
 	// LogCap is the query-log ring capacity; the oldest entries are
 	// dropped beyond it (default 10000).
 	LogCap int
@@ -160,8 +205,15 @@ type Server struct {
 	log      queryLog
 	cfg      core.Config
 	opts     Options
-	// sem bounds concurrent vocalizations (admission control).
-	sem chan struct{}
+	// adm bounds and fair-queues concurrent vocalizations.
+	adm *admission.Controller
+	// brown walks the degradation ladder from vocalize latencies.
+	brown *admission.Brownout
+	// breakers guards the holistic path per dataset; the map is fixed at
+	// construction and read without s.mu.
+	breakers map[string]*admission.Breaker
+	// serving counts per-tenant admission outcomes for /api/stats.
+	serving servingCounters
 	// now is the server-side bookkeeping clock, stubbed in tests.
 	now func() time.Time
 	// holdVocalize, when non-nil, blocks vocalizations until closed —
@@ -188,9 +240,21 @@ func NewServerWith(cfg core.Config, opts Options, infos ...DatasetInfo) (*Server
 		log:      queryLog{cap: opts.LogCap},
 		cfg:      cfg,
 		opts:     opts,
-		sem:      make(chan struct{}, opts.MaxConcurrent),
+		breakers: make(map[string]*admission.Breaker, len(infos)),
 		now:      time.Now,
 	}
+	s.adm = admission.NewController(admission.Config{
+		Slots:      opts.MaxConcurrent,
+		QueueDepth: opts.QueueDepth,
+		Rate:       opts.TenantRate,
+		Burst:      float64(opts.TenantBurst),
+		Weights:    opts.TenantWeights,
+	})
+	s.brown = admission.NewBrownout(admission.BrownoutConfig{
+		Target: opts.BrownoutTarget,
+		Window: opts.BrownoutWindow,
+		Hold:   opts.BrownoutHold,
+	})
 	for _, info := range infos {
 		if info.Dataset == nil || info.Name == "" {
 			return nil, errors.New("web: dataset info incomplete")
@@ -200,6 +264,10 @@ func NewServerWith(cfg core.Config, opts Options, infos ...DatasetInfo) (*Server
 		}
 		s.datasets[info.Name] = info
 		s.order = append(s.order, info.Name)
+		s.breakers[info.Name] = admission.NewBreaker(admission.BreakerConfig{
+			Threshold: opts.BreakerThreshold,
+			Cooldown:  opts.BreakerCooldown,
+		})
 	}
 	return s, nil
 }
@@ -277,6 +345,14 @@ type queryResponse struct {
 	Structured *encode.Speech `json:"structured,omitempty"`
 	// SSML carries speech markup for TTS engines that accept it.
 	SSML string `json:"ssml,omitempty"`
+	// ServedBy names the vocalizer that answered ("this" or "prior");
+	// it differs from the requested method when the brownout ladder or a
+	// breaker forced the prior fallback. Clients validating grammar must
+	// check this field, not the method they asked for.
+	ServedBy string `json:"servedBy,omitempty"`
+	// Fallback explains a ServedBy/method mismatch: "brownout" or
+	// "breaker".
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // methodName normalizes the requested vocalization method; ok is false
@@ -365,73 +441,177 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errInternal)
 		return
 	}
-	resp, err := sess.Parse(req.Input)
+	// Stage the parse on a clone: admission may still shed this request,
+	// and a shed must be side-effect free so a client retry does not
+	// double-apply the command ("drill down" twice deep, "back" twice up).
+	staged := sess.Clone()
+	s.mu.Unlock()
+	resp, err := staged.Parse(req.Input)
 	if err != nil {
-		s.mu.Unlock()
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	q := sess.Query()
-	s.mu.Unlock()
 
-	out := queryResponse{Action: resp.Action, Message: resp.Message}
-	if resp.IsQuery {
-		// Admission control: beyond MaxConcurrent in-flight
-		// vocalizations, shed load instead of queueing unboundedly.
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		default:
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.opts.RetryAfter.Seconds()+0.5)))
-			writeError(w, http.StatusServiceUnavailable, errors.New("server saturated, retry shortly"))
-			return
-		}
-		if s.holdVocalize != nil {
-			<-s.holdVocalize
-		}
-		speechText, structured, latency, degraded, err := s.vocalize(r.Context(), info, q, method)
-		if err != nil {
-			s.opts.Logf("web: vocalize: %v", err)
-			writeError(w, http.StatusInternalServerError, errInternal)
-			return
-		}
-		out.Speech = speechText
-		out.LatencyMS = float64(latency) / float64(time.Millisecond)
-		out.Degraded = degraded
-		if structured != nil {
-			enc := encode.EncodeSpeech(structured)
-			out.Structured = &enc
-			out.SSML = structured.SSML(speech.DefaultSSMLOptions())
-		}
+	if !resp.IsQuery {
+		// Non-query commands (help, summaries, navigation feedback) never
+		// vocalize, so they bypass admission; commit on the live session.
 		s.mu.Lock()
-		s.log.add(QueryLogEntry{
-			Time:      s.now(),
-			Session:   req.Session,
-			Dataset:   req.Dataset,
-			Input:     req.Input,
-			Method:    method,
-			Speech:    out.Speech,
-			LatencyMS: out.LatencyMS,
-			Degraded:  degraded,
-		})
+		live, err := sess.Parse(req.Input)
 		s.mu.Unlock()
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{Action: live.Action, Message: live.Message})
+		return
 	}
+
+	tenant := tenantOf(r, req.Session)
+	// The ladder's last rung refuses queries before they touch the queue.
+	if s.brown.Step() == admission.StepShed {
+		s.serving.shed(tenant, "brownout")
+		s.writeShed(w, req.Dataset, http.StatusServiceUnavailable,
+			errors.New("server browned out, retry shortly"))
+		return
+	}
+	res := s.adm.Acquire(r.Context(), tenant)
+	if res.Ticket == nil {
+		switch res.Shed {
+		case admission.ShedCanceled:
+			if r.Context().Err() == context.DeadlineExceeded {
+				writeError(w, http.StatusRequestTimeout, errors.New("request deadline exceeded while queued"))
+				break
+			}
+			// The client hung up while queued; nobody reads this reply,
+			// but the status keeps the log honest (499, not 5xx).
+			s.serving.clientGone(tenant)
+			writeError(w, statusClientClosedRequest, errors.New("client closed request"))
+		case admission.ShedRate:
+			s.serving.shed(tenant, res.Shed.String())
+			s.writeShed(w, req.Dataset, http.StatusTooManyRequests,
+				errors.New("tenant rate limit exceeded, retry shortly"))
+		default:
+			s.serving.shed(tenant, res.Shed.String())
+			s.writeShed(w, req.Dataset, http.StatusServiceUnavailable,
+				errors.New("server saturated, retry shortly"))
+		}
+		return
+	}
+	defer res.Ticket.Release()
+
+	// Admitted: commit the staged command on the live session. The parse
+	// re-runs under the lock so concurrent commits serialize; a racing
+	// command may have changed the session since the dry run, so the
+	// committed response is authoritative.
+	s.mu.Lock()
+	resp, err = sess.Parse(req.Input)
+	var q olap.Query
+	if err == nil {
+		q = sess.Query()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := queryResponse{Action: resp.Action, Message: resp.Message}
+	if !resp.IsQuery {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	if s.holdVocalize != nil {
+		<-s.holdVocalize
+	}
+	step := s.brown.Step()
+	if step == admission.StepShed {
+		// The ladder topped out while we queued; we already hold a slot,
+		// so serve the cheap fallback instead of wasting the wait.
+		step = admission.StepPrior
+	}
+	servedBy, fallback := method, ""
+	br := s.breakers[req.Dataset]
+	if method == "this" {
+		if step >= admission.StepPrior {
+			servedBy, fallback = "prior", "brownout"
+		} else if !br.Allow() {
+			servedBy, fallback = "prior", "breaker"
+		}
+	}
+	wallStart := time.Now()
+	voc, err := s.vocalize(r.Context(), info, q, servedBy, step)
+	wall := time.Since(wallStart)
+	s.brown.Observe(wall)
+	if method == "this" && servedBy == "this" && err == nil {
+		// A deadline-degraded answer is the breaker's blowout signal; a
+		// client cancellation is not the dataset's fault.
+		br.Record(voc.degraded && voc.reason == context.DeadlineExceeded.Error())
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || r.Context().Err() == context.Canceled {
+			s.serving.clientGone(tenant)
+			writeError(w, statusClientClosedRequest, errors.New("client closed request"))
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusRequestTimeout, errors.New("request deadline exceeded"))
+			return
+		}
+		s.opts.Logf("web: vocalize: %v", err)
+		writeError(w, http.StatusInternalServerError, errInternal)
+		return
+	}
+	s.serving.served(tenant, res.Waited > 0, step, fallback)
+	out.Speech = voc.text
+	out.LatencyMS = float64(voc.latency) / float64(time.Millisecond)
+	out.Degraded = voc.degraded
+	out.ServedBy = servedBy
+	out.Fallback = fallback
+	if voc.structured != nil {
+		enc := encode.EncodeSpeech(voc.structured)
+		out.Structured = &enc
+		out.SSML = voc.structured.SSML(speech.DefaultSSMLOptions())
+	}
+	s.mu.Lock()
+	s.log.add(QueryLogEntry{
+		Time:      s.now(),
+		Session:   req.Session,
+		Dataset:   req.Dataset,
+		Input:     req.Input,
+		Method:    method,
+		Speech:    out.Speech,
+		LatencyMS: out.LatencyMS,
+		Degraded:  voc.degraded,
+		ServedBy:  servedBy,
+	})
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
-// vocalize runs the chosen vocalizer on the query under ctx. The
-// structured speech is non-nil for the holistic method only (the prior
-// grammar has none). degraded reports a deadline-shortened answer.
-func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, method string) (string, *speech.Speech, time.Duration, bool, error) {
+// vocOut is one vocalizer run's result.
+type vocOut struct {
+	text string
+	// structured is non-nil for the holistic grammar only.
+	structured *speech.Speech
+	latency    time.Duration
+	degraded   bool
+	// reason explains a degraded answer (the context error text).
+	reason string
+}
+
+// vocalize runs the chosen vocalizer on the query under ctx. At
+// StepReduced the holistic planner runs with quartered budgets: cheaper
+// and rougher answers, same grammar.
+func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, method string, step admission.Step) (vocOut, error) {
 	if method == "prior" {
 		out, err := baseline.NewPrior(info.Dataset, q, baseline.Config{
 			Format:      info.Format,
 			MergeValues: true,
 		}).VocalizeContext(ctx)
 		if err != nil {
-			return "", nil, 0, false, err
+			return vocOut{}, err
 		}
-		return out.Text, nil, out.Latency, out.Truncated, nil
+		return vocOut{text: out.Text, latency: out.Latency, degraded: out.Truncated}, nil
 	}
 	cfg := s.cfg
 	cfg.Format = info.Format
@@ -444,11 +624,29 @@ func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, m
 	if cfg.MaxTreeNodes == 0 {
 		cfg.MaxTreeNodes = 50000
 	}
+	if step == admission.StepReduced {
+		cfg.MaxRoundsPerSentence = reducedBudget(cfg.MaxRoundsPerSentence, 32)
+		cfg.MaxTreeNodes = reducedBudget(cfg.MaxTreeNodes, 1024)
+	}
 	out, err := core.NewHolistic(info.Dataset, q, cfg).VocalizeContext(ctx)
 	if err != nil {
-		return "", nil, 0, false, err
+		return vocOut{}, err
 	}
-	return out.Text(), out.Speech, out.Latency, out.Degraded, nil
+	return vocOut{
+		text:       out.Text(),
+		structured: out.Speech,
+		latency:    out.Latency,
+		degraded:   out.Degraded,
+		reason:     out.DegradeReason,
+	}, nil
+}
+
+// reducedBudget quarters a planner budget with a floor.
+func reducedBudget(v, floor int) int {
+	if v /= 4; v < floor {
+		v = floor
+	}
+	return v
 }
 
 // handleLog returns the query log (newest LogCap entries).

@@ -29,6 +29,10 @@ type SessionStats struct {
 type LogAnalysis struct {
 	Methods  []MethodStats  `json:"methods"`
 	Sessions []SessionStats `json:"sessions"`
+	// Serving reports the overload-resilience state (admission gauges,
+	// brownout ladder, breakers, per-tenant outcomes); nil when the
+	// analysis was built from raw log entries outside a live server.
+	Serving *ServingStats `json:"serving,omitempty"`
 }
 
 // AnalyzeLog aggregates query-log entries by method and session.
@@ -98,5 +102,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	entries := s.log.snapshot()
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, AnalyzeLog(entries))
+	out := AnalyzeLog(entries)
+	serving := s.servingStats()
+	out.Serving = &serving
+	writeJSON(w, http.StatusOK, out)
 }
