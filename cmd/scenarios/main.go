@@ -1,0 +1,132 @@
+// Command scenarios is the live runner of the declarative conformance
+// registry (internal/scenario): it drives every registered scenario over
+// HTTP — against a voiceolapd-style server it boots in-process per fault/
+// admission profile, or against an external -target — and emits the
+// pass/fail matrix with per-scenario latency, degraded, fallback, and
+// shed counts as BENCH_scenarios.json.
+//
+// Usage:
+//
+//	scenarios [-target http://host:port] [-attr multiturn] [-list]
+//	          [-flight-rows 5000] [-seed 1] [-client-timeout 30s]
+//	          [-out BENCH_scenarios.json] [-assert]
+//
+// Against an external -target the live-tuned scenarios (fault injection,
+// tight deadlines, tuned admission) are skipped: their expectations only
+// hold on a server whose profile the runner controls.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	target := flag.String("target", "", "URL of a running voiceolapd (empty: boot in-process servers per profile)")
+	attr := flag.String("attr", "", "only run scenarios carrying this attr tag")
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	flightRows := flag.Int("flight-rows", 5000, "in-process: flights dataset rows")
+	seed := flag.Int64("seed", 1, "in-process: dataset and planner seed")
+	clientTimeout := flag.Duration("client-timeout", 30*time.Second, "per-request client timeout")
+	outPath := flag.String("out", "BENCH_scenarios.json", "benchmark output path")
+	assert := flag.Bool("assert", false, "exit nonzero when any scenario fails")
+	flag.Parse()
+
+	specs := scenario.All()
+	if *attr != "" {
+		var kept []*scenario.Spec
+		for _, s := range specs {
+			if s.HasAttr(*attr) {
+				kept = append(kept, s)
+			}
+		}
+		specs = kept
+	}
+	if *list {
+		for _, s := range specs {
+			fmt.Printf("%-40s %v\n    %s\n", s.Name, s.Attrs, s.Desc)
+		}
+		return nil
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no scenarios match -attr %q", *attr)
+	}
+
+	var pool *scenario.ServerPool
+	if *target == "" {
+		pool = scenario.NewServerPool(scenario.PoolConfig{FlightRows: *flightRows, Seed: *seed})
+		defer pool.Close()
+	}
+	client := &http.Client{Timeout: *clientTimeout}
+	runID := fmt.Sprintf("%d", time.Now().UnixNano())
+
+	start := time.Now()
+	rows := make([]scenario.ScenarioReport, 0, len(specs))
+	for _, s := range specs {
+		if *target != "" && s.LiveTuned() {
+			fmt.Printf("SKIP %-42s (live-tuned, external target)\n", s.Name)
+			rows = append(rows, scenario.SkippedReport(s))
+			continue
+		}
+		base := *target
+		if base == "" {
+			b, err := pool.Server(s)
+			if err != nil {
+				return fmt.Errorf("boot profile for %s: %w", s.Name, err)
+			}
+			base = b
+		}
+		res, err := scenario.RunLive(context.Background(), client, base, s, runID)
+		if err != nil {
+			return fmt.Errorf("run %s: %w", s.Name, err)
+		}
+		row := scenario.Summarize(res)
+		rows = append(rows, row)
+		verdict := "PASS"
+		if !row.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%s %-42s steps=%d speech=%d degraded=%d shed=%d\n",
+			verdict, s.Name, row.Steps, row.SpeechAnswers, row.Degraded, row.Shed)
+		for _, v := range row.Violations {
+			fmt.Printf("     - %s\n", v.String())
+		}
+	}
+
+	report := scenario.NewReport("live", time.Since(start), rows)
+	report.Config = map[string]any{
+		"target": *target, "flightRows": *flightRows, "seed": *seed, "attr": *attr,
+	}
+	if pool != nil {
+		if st := pool.InjectorStats(); st.Scans > 0 {
+			report.Faults = st
+		}
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+	fmt.Printf("scenarios: %d pass, %d fail, %d skipped\n", report.Pass, report.Fail, report.Skip)
+	if *assert && report.Fail > 0 {
+		return fmt.Errorf("%d scenario(s) failed", report.Fail)
+	}
+	return nil
+}

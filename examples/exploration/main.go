@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -21,7 +22,9 @@ import (
 )
 
 func main() {
-	dataset, err := datagen.Flights(datagen.FlightsConfig{Rows: 100000, Seed: 3})
+	rows := flag.Int("rows", 100000, "dataset rows")
+	flag.Parse()
+	dataset, err := datagen.Flights(datagen.FlightsConfig{Rows: *rows, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

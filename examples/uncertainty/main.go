@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -20,7 +21,9 @@ import (
 )
 
 func main() {
-	dataset, err := datagen.Flights(datagen.FlightsConfig{Rows: 100000, Seed: 11})
+	rows := flag.Int("rows", 100000, "dataset rows")
+	flag.Parse()
+	dataset, err := datagen.Flights(datagen.FlightsConfig{Rows: *rows, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}

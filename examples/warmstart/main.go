@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,7 +24,9 @@ import (
 )
 
 func main() {
-	dataset, err := datagen.Flights(datagen.FlightsConfig{Rows: 300000, Seed: 5})
+	rows := flag.Int("rows", 300000, "dataset rows")
+	flag.Parse()
+	dataset, err := datagen.Flights(datagen.FlightsConfig{Rows: *rows, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

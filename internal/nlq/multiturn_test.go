@@ -1,0 +1,211 @@
+package nlq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/olap"
+)
+
+// parse fails the test on error and returns the response.
+func parse(t *testing.T, s *Session, input string) Response {
+	t.Helper()
+	r, err := s.Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	return r
+}
+
+// groupedNames lists the grouped hierarchy names in order.
+func groupedNames(s *Session) []string {
+	var out []string
+	for _, gb := range s.Query().GroupBy {
+		out = append(out, gb.Hierarchy.Name)
+	}
+	return out
+}
+
+// TestMultiTurnAnaphoraWinter drives the "and for winter?" follow-up: a
+// filter mention on an established breakdown must keep the breakdown and
+// narrow the scope, and a second season must replace — not stack — the
+// first (one filter per hierarchy).
+func TestMultiTurnAnaphoraWinter(t *testing.T) {
+	s := newFlightsSession(t)
+	parse(t, s, "how does cancellation depend on region and season")
+	if got := groupedNames(s); len(got) != 2 {
+		t.Fatalf("expected 2 grouped dims, got %v", got)
+	}
+
+	r := parse(t, s, "and for winter")
+	if !r.IsQuery {
+		t.Error("follow-up filter should still vocalize")
+	}
+	if got := groupedNames(s); len(got) != 2 {
+		t.Errorf("follow-up dropped the breakdown: %v", got)
+	}
+	date := s.dataset.HierarchyByName("flight date")
+	if f := s.Query().FilterOn(date); f == nil || f.Name != "Winter" {
+		t.Fatalf("winter filter missing, got %v", f)
+	}
+
+	r = parse(t, s, "and for summer")
+	if f := s.Query().FilterOn(date); f == nil || f.Name != "Summer" {
+		t.Fatalf("summer should replace winter, got %v", f)
+	}
+	if !r.IsQuery {
+		t.Error("second follow-up should vocalize")
+	}
+}
+
+// TestMultiTurnSameButByCarrier exercises hierarchy synonyms in a
+// follow-up: "same but by carrier" must add the airline dimension while
+// keeping prior state, and "drop the carrier" must remove it again.
+func TestMultiTurnSameButByCarrier(t *testing.T) {
+	s := newFlightsSession(t)
+	parse(t, s, "break down by region")
+
+	r := parse(t, s, "same but by carrier")
+	if !r.IsQuery {
+		t.Error("synonym follow-up should vocalize")
+	}
+	got := groupedNames(s)
+	if len(got) != 2 || got[1] != "airline" {
+		t.Fatalf("carrier should add the airline dimension, got %v", got)
+	}
+
+	parse(t, s, "drop the carrier")
+	got = groupedNames(s)
+	if len(got) != 1 || got[0] != "start airport" {
+		t.Fatalf("dropping the carrier should remove airline, got %v", got)
+	}
+}
+
+// TestSynonymNeverShadowsDatasetVocabulary pins the priority rule: a
+// dataset that really owns a dimension named like a synonym alias must
+// resolve the alias to its own dimension, not through the synonym table.
+func TestSynonymNeverShadowsDatasetVocabulary(t *testing.T) {
+	s := newFlightsSession(t)
+	// "airline" is the real name; the synonym table also routes there, but
+	// the direct match must win (same result, different code path).
+	if h := s.matchHierarchy("break down by airline"); h == nil || h.Name != "airline" {
+		t.Fatalf("direct name match broken: %v", h)
+	}
+	if h := s.matchHierarchy("break down by carrier"); h == nil || h.Name != "airline" {
+		t.Fatalf("synonym match broken: %v", h)
+	}
+	if h := s.matchHierarchy("break down by nonsense"); h != nil {
+		t.Fatalf("unknown word matched %v", h)
+	}
+}
+
+// TestSynonymOnSalaries checks the college-location aliases on the second
+// dataset: a synonym can name the dimension for removal and re-add it
+// later, and an alias mention of an already grouped hierarchy is not a
+// duplicate add.
+func TestSynonymOnSalaries(t *testing.T) {
+	d, err := datagen.Salaries(datagen.SalariesConfig{Seed: 4})
+	if err != nil {
+		t.Fatalf("Salaries: %v", err)
+	}
+	s, err := NewSession(d, olap.Avg, "midCareerSalary", "average mid-career salary")
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	// The session starts grouped by college location; the alias resolves it
+	// for removal even though no schema word appears in the utterance.
+	parse(t, s, "drop the school")
+	if got := groupedNames(s); len(got) != 0 {
+		t.Fatalf("dropping the school should clear the breakdown, got %v", got)
+	}
+	parse(t, s, "break down by university")
+	got := groupedNames(s)
+	if len(got) != 1 || got[0] != "college location" {
+		t.Fatalf("university should re-add college location, got %v", got)
+	}
+	// Mentioning another alias again must not duplicate the dimension.
+	if r, err := s.Parse("same by schools"); err == nil {
+		if got := groupedNames(s); len(got) != 1 {
+			t.Fatalf("alias re-mention duplicated the dimension: %v (resp %+v)", got, r)
+		}
+	}
+}
+
+// TestCloneIsolationUnderStagedParses mirrors the web layer's
+// stage-then-commit pattern across a multi-turn script: every utterance is
+// first parsed on a clone (the dry run admission control may throw away)
+// and then on the live session. The dry run must never leak state into the
+// live session, and both parses must agree on what the command does.
+func TestCloneIsolationUnderStagedParses(t *testing.T) {
+	s := newFlightsSession(t)
+	script := []string{
+		"how does cancellation depend on region and season",
+		"and for winter",
+		"same but by carrier",
+		"drill down",
+		"back",
+		"only flights in summer",
+		"reset",
+	}
+	for _, input := range script {
+		before := s.Summary()
+		staged := s.Clone()
+		sr, serr := staged.Parse(input)
+		if after := s.Summary(); after != before {
+			t.Fatalf("staged parse of %q mutated the live session:\n before %q\n after  %q", input, before, after)
+		}
+		lr, lerr := s.Parse(input)
+		if (serr == nil) != (lerr == nil) {
+			t.Fatalf("staged/live divergence on %q: %v vs %v", input, serr, lerr)
+		}
+		if serr != nil {
+			continue
+		}
+		if sr.Action != lr.Action || sr.IsQuery != lr.IsQuery || sr.Message != lr.Message {
+			t.Fatalf("staged/live response mismatch on %q:\n staged %+v\n live   %+v", input, sr, lr)
+		}
+	}
+}
+
+// TestCloneIsolationOfHistory pins the deep copy of the undo stack: undoing
+// on a clone after further live mutations must restore the clone's own
+// snapshot, untouched by the live session's history edits.
+func TestCloneIsolationOfHistory(t *testing.T) {
+	s := newFlightsSession(t)
+	parse(t, s, "break down by region")
+	parse(t, s, "drill down")
+
+	c := s.Clone()
+	parse(t, s, "drill down")
+	parse(t, s, "back")
+	parse(t, s, "back")
+
+	// The clone still sits two drills deep and can undo independently.
+	r := parse(t, c, "back")
+	if r.Action != "back" {
+		t.Fatalf("clone undo action %q", r.Action)
+	}
+	if sum := c.Summary(); !strings.Contains(sum, "region") && !strings.Contains(sum, "state") {
+		t.Errorf("clone summary after undo looks wrong: %q", sum)
+	}
+	if sum := s.Summary(); !strings.Contains(sum, "region") {
+		t.Errorf("live summary after double undo looks wrong: %q", sum)
+	}
+}
+
+// TestAggFuncFollowUp covers the "how many" anaphora: switching the
+// aggregation function mid-exploration keeps breakdown and filters.
+func TestAggFuncFollowUp(t *testing.T) {
+	s := newFlightsSession(t)
+	parse(t, s, "break down by region")
+	parse(t, s, "only flights in winter")
+	parse(t, s, "how many flights")
+	q := s.Query()
+	if q.Fct != olap.Count {
+		t.Errorf("how many should switch to count, got %v", q.Fct)
+	}
+	if len(q.GroupBy) != 1 || q.FilterOn(s.dataset.HierarchyByName("flight date")) == nil {
+		t.Error("function switch dropped breakdown or filter")
+	}
+}

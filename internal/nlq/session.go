@@ -263,24 +263,33 @@ func (s *Session) Parse(input string) (Response, error) {
 	}
 
 	// Declarative: collect mentioned level names and member names.
-	var addDims []struct {
+	type dimAdd struct {
 		h     *dimension.Hierarchy
 		level int
 	}
+	var addDims []dimAdd
 	for _, h := range s.dataset.Hierarchies() {
 		for level := 1; level <= h.Depth(); level++ {
 			if containsWord(text, strings.ToLower(h.LevelName(level))) {
-				addDims = append(addDims, struct {
-					h     *dimension.Hierarchy
-					level int
-				}{h, level})
+				addDims = append(addDims, dimAdd{h, level})
 			}
 		}
 		if containsWord(text, strings.ToLower(h.Name)) && s.levels[h] == 0 {
-			addDims = append(addDims, struct {
-				h     *dimension.Hierarchy
-				level int
-			}{h, 1})
+			addDims = append(addDims, dimAdd{h, 1})
+		}
+	}
+	// Synonyms only when the dataset's own vocabulary did not already name
+	// the hierarchy ("same but by carrier" adds the airline dimension).
+	if h := s.synonymHierarchy(text); h != nil && s.levels[h] == 0 {
+		mentioned := false
+		for _, ad := range addDims {
+			if ad.h == h {
+				mentioned = true
+				break
+			}
+		}
+		if !mentioned {
+			addDims = append(addDims, dimAdd{h, 1})
 		}
 	}
 	members := s.matchMembers(text)
@@ -353,7 +362,9 @@ func (s *Session) lastGrouped() *dimension.Hierarchy {
 // anyGrouped reports whether at least one dimension is grouped.
 func (s *Session) anyGrouped() bool { return len(s.order) > 0 }
 
-// matchHierarchy finds a hierarchy mentioned by name or level name.
+// matchHierarchy finds a hierarchy mentioned by name or level name; spoken
+// synonyms ("carrier" for the airline dimension) are a fallback so the
+// dataset's own vocabulary always wins.
 func (s *Session) matchHierarchy(text string) *dimension.Hierarchy {
 	for _, h := range s.dataset.Hierarchies() {
 		if containsWord(text, strings.ToLower(h.Name)) {
@@ -361,6 +372,38 @@ func (s *Session) matchHierarchy(text string) *dimension.Hierarchy {
 		}
 		for level := 1; level <= h.Depth(); level++ {
 			if containsWord(text, strings.ToLower(h.LevelName(level))) {
+				return h
+			}
+		}
+	}
+	return s.synonymHierarchy(text)
+}
+
+// hierarchySynonyms maps spoken aliases to canonical hierarchy names, in
+// deterministic priority order. Voice users reach for everyday words the
+// schema does not use ("carrier" instead of "airline"); ASR output never
+// sees the schema at all. Aliases resolve only against hierarchies the
+// bound dataset actually has, so datasets owning an identically named
+// dimension are unaffected (exact matches are tried first everywhere).
+var hierarchySynonyms = []struct{ alias, canonical string }{
+	{"carrier", "airline"},
+	{"carriers", "airline"},
+	{"operator", "airline"},
+	{"operators", "airline"},
+	{"school", "college location"},
+	{"schools", "college location"},
+	{"university", "college location"},
+}
+
+// synonymHierarchy resolves the first alias mentioned in text to a bound
+// hierarchy, or nil.
+func (s *Session) synonymHierarchy(text string) *dimension.Hierarchy {
+	for _, syn := range hierarchySynonyms {
+		if !containsWord(text, syn.alias) {
+			continue
+		}
+		for _, h := range s.dataset.Hierarchies() {
+			if strings.EqualFold(h.Name, syn.canonical) {
 				return h
 			}
 		}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/olap"
+	"repro/internal/speech"
+)
+
+// Violation is one failed expectation, attributable to a script step.
+type Violation struct {
+	// Step is the zero-based script index (-1 for scenario-level checks).
+	Step int `json:"step"`
+	// Check names the violated property ("grammar", "tendency", ...).
+	Check string `json:"check"`
+	// Detail explains the failure.
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("step %d [%s]: %s", v.Step, v.Check, v.Detail)
+}
+
+// violations accumulates step-scoped findings.
+type violations struct {
+	step int
+	list []Violation
+}
+
+func (vs *violations) addf(check, format string, args ...any) {
+	vs.list = append(vs.list, Violation{Step: vs.step, Check: check, Detail: fmt.Sprintf(format, args...)})
+}
+
+// validSpeechText checks an answer's text against the grammar of the
+// vocalizer that served it: holistic answers must parse under the speech
+// grammar; the prior baseline's enumeration just needs well-formed
+// sentences (the same contract cmd/loadgen asserts under chaos).
+func validSpeechText(text, servedBy string) bool {
+	if servedBy == "prior" {
+		t := strings.TrimSpace(text)
+		return t != "" && strings.HasSuffix(t, ".")
+	}
+	return (speech.Parser{}).Conforms(text)
+}
+
+// checkSpeechText applies the transport-independent text expectations:
+// grammar conformance and the explicit length cap.
+func (vs *violations) checkSpeechText(text, servedBy string, e Expect) {
+	if text == "" {
+		vs.addf("speech", "expected a spoken answer, got none")
+		return
+	}
+	if !validSpeechText(text, servedBy) {
+		vs.addf("grammar", "answer served by %q violates its grammar: %q", servedBy, text)
+	}
+	if e.MaxChars > 0 && len(text) > e.MaxChars {
+		vs.addf("length", "answer is %d chars, cap %d: %q", len(text), e.MaxChars, text)
+	}
+}
+
+// boundsRe is the spoken confidence-bound sentence form of Section 4.4.
+var boundsRe = regexp.MustCompile(`^Between .+ and .+ with \d+ percent confidence\.$`)
+
+// checkUncertainty applies the BoundsSane and Warning expectations against
+// a holistic output (in-process only: bounds and warnings ride on the
+// structured Output, not the flat HTTP speech text).
+func (vs *violations) checkUncertainty(out *core.Output, e Expect) {
+	if e.BoundsSane {
+		if len(out.BoundsSpoken) == 0 {
+			vs.addf("bounds", "expected spoken confidence bounds, got none")
+		}
+		for _, b := range out.BoundsSpoken {
+			if !boundsRe.MatchString(b) {
+				vs.addf("bounds", "malformed bound sentence %q", b)
+			}
+		}
+	}
+	if e.Warning && out.Warning == "" {
+		vs.addf("warning", "expected a low-confidence warning, none spoken")
+	}
+}
+
+// tendencyTolerance is the relative slack granted to refinement
+// directions: spoken tendencies come from sampled estimates, so a change
+// smaller than this fraction of the involved values is direction-ambiguous
+// and not a violation.
+const tendencyTolerance = 0.10
+
+// checkTendency verifies each refinement's spoken direction against the
+// exact query evaluation, under the paper's relative-refinement semantics:
+// refinement i claims the values in its scope sit at reference + delta_i,
+// where the reference folds in every preceding subsuming refinement. The
+// check demands the claimed movement point the same way as the true
+// count-weighted scope mean's movement. Average queries only — for sums
+// and counts the scope mean is not what the sentences describe.
+func (vs *violations) checkTendency(d *olap.Dataset, q olap.Query, sp *speech.Speech) {
+	if q.Fct != olap.Avg || sp == nil || sp.Baseline == nil {
+		return
+	}
+	res, err := olap.Evaluate(d, q)
+	if err != nil {
+		vs.addf("tendency", "exact evaluation failed: %v", err)
+		return
+	}
+	space := res.Space()
+	deltas := sp.Deltas()
+	// The spoken baseline is rounded to one significant digit, so every
+	// reference inherits that rounding error; a true move inside the slack
+	// is invisible to the listener and must not count as a wrong direction.
+	roundSlack := math.Abs(sp.Baseline.Value - res.GrandValue())
+	for i, r := range sp.Refinements {
+		var sum float64
+		var cnt int64
+		for idx := 0; idx < space.Size(); idx++ {
+			if space.InScope(idx, r.Preds) {
+				sum += res.Sum(idx)
+				cnt += res.Count(idx)
+			}
+		}
+		if cnt == 0 {
+			continue // empty scope: nothing the sentence could misstate
+		}
+		actual := sum / float64(cnt)
+		ref := sp.Baseline.Value
+		for j := 0; j < i; j++ {
+			if sp.Refinements[j].Subsumes(r) {
+				ref += deltas[j]
+			}
+		}
+		move := actual - ref
+		tol := math.Max(tendencyTolerance*math.Max(math.Abs(ref), math.Abs(actual)), roundSlack)
+		if math.Abs(move) <= tol {
+			continue // too small a true change to pin a direction on
+		}
+		up := move > 0
+		claimUp := r.Dir == speech.Increase
+		if up != claimUp {
+			vs.addf("tendency",
+				"refinement %d (%s) claims values %s but true scope mean moves %+.4g from reference %.4g",
+				i, r.Text(), r.Dir, move, ref)
+		}
+	}
+}
+
+// checkHolisticShape applies structure expectations that need the parsed
+// speech: refinement count floors (skipped when the answer degraded — a
+// deadline-cut speech legitimately stops at the preamble).
+func (vs *violations) checkHolisticShape(out *core.Output, e Expect) {
+	if e.MinRefinements > 0 && !out.Degraded {
+		if n := len(out.Speech.Refinements); n < e.MinRefinements {
+			vs.addf("shape", "expected at least %d refinements, got %d", e.MinRefinements, n)
+		}
+	}
+}
+
+// checkDegraded pins the degraded flag when the expectation sets it.
+func (vs *violations) checkDegraded(got bool, e Expect) {
+	if e.Degraded != nil && got != *e.Degraded {
+		vs.addf("degraded", "degraded = %v, want %v", got, *e.Degraded)
+	}
+}

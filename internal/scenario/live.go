@@ -1,0 +1,332 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/nlq"
+	"repro/internal/speech"
+	"repro/internal/web"
+)
+
+// statusClientClosedRequest is nginx's 499, which the server uses for
+// requests whose client hung up while queued.
+const statusClientClosedRequest = 499
+
+// PoolConfig sizes the in-process live servers the pool boots.
+type PoolConfig struct {
+	// FlightRows sizes the flights dataset (zero selects 5000).
+	FlightRows int
+	// Seed drives dataset generation and the planner.
+	Seed int64
+	// RequestTimeout is the default per-request deadline for specs that
+	// do not pin a StepTimeout (zero selects 10s).
+	RequestTimeout time.Duration
+}
+
+// profileKey identifies a live-server configuration. Specs sharing a key
+// share one server; the zero key is the clean default profile.
+type profileKey struct {
+	faults  faults.InjectorOptions
+	timeout time.Duration
+	live    LiveSpec
+}
+
+// poolServer is one booted server.
+type poolServer struct {
+	base     string
+	injector *faults.Injector
+	hs       *http.Server
+	ln       net.Listener
+}
+
+// ServerPool boots one in-process voice-OLAP server per distinct scenario
+// profile — fault injection and admission tuning are server-wide, so specs
+// that need them cannot share a server with clean specs — and reuses
+// servers across specs with equal profiles. Datasets are shared through
+// the package cache.
+type ServerPool struct {
+	cfg     PoolConfig
+	mu      sync.Mutex
+	servers map[profileKey]*poolServer
+}
+
+// NewServerPool returns an empty pool.
+func NewServerPool(cfg PoolConfig) *ServerPool {
+	if cfg.FlightRows <= 0 {
+		cfg.FlightRows = 5000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	return &ServerPool{cfg: cfg, servers: make(map[profileKey]*poolServer)}
+}
+
+// Server returns the base URL of a server matching the spec's profile,
+// booting it on first use.
+func (p *ServerPool) Server(s *Spec) (string, error) {
+	key := profileKey{faults: s.Faults, timeout: s.StepTimeout, live: s.Live}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if srv, ok := p.servers[key]; ok {
+		return srv.base, nil
+	}
+	srv, err := p.boot(key)
+	if err != nil {
+		return "", err
+	}
+	p.servers[key] = srv
+	return srv.base, nil
+}
+
+// boot builds the datasets and serves the web API on a loopback listener.
+func (p *ServerPool) boot(key profileKey) (*poolServer, error) {
+	flights, err := dataset(DatasetSpec{Name: "flights", Rows: p.cfg.FlightRows, Seed: p.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	salaries, err := dataset(DatasetSpec{Name: "salaries", Seed: p.cfg.Seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	// Clock stays nil: the server gives every request its own simulated
+	// clock, so concurrent vocalizations never share timing state.
+	cfg := core.Config{Seed: p.cfg.Seed}
+	ps := &poolServer{}
+	if key.faults.Enabled() {
+		ps.injector = faults.NewInjector(key.faults)
+		cfg.Scanner = ps.injector.Scanner
+	}
+	opts := web.Options{
+		RequestTimeout: key.timeout,
+		MaxConcurrent:  key.live.MaxConcurrent,
+		QueueDepth:     key.live.QueueDepth,
+		Logf:           func(string, ...any) {}, // scenario noise stays out of reports
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = p.cfg.RequestTimeout
+	}
+	srv, err := web.NewServerWith(cfg, opts,
+		web.DatasetInfo{Name: "flights", Dataset: flights, MeasureCol: "cancelled",
+			MeasureDesc: "average cancellation probability", Format: speech.PercentFormat},
+		web.DatasetInfo{Name: "salaries", Dataset: salaries, MeasureCol: "midCareerSalary",
+			MeasureDesc: "average mid-career salary", Format: speech.ThousandsFormat},
+	)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ps.ln = ln
+	ps.hs = &http.Server{Handler: srv.Handler()}
+	go ps.hs.Serve(ln)
+	ps.base = "http://" + ln.Addr().String()
+	return ps, nil
+}
+
+// InjectorStats sums fault counts over all booted servers.
+func (p *ServerPool) InjectorStats() faults.InjectorStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total faults.InjectorStats
+	for _, srv := range p.servers {
+		if srv.injector == nil {
+			continue
+		}
+		st := srv.injector.Stats()
+		total.Scans += st.Scans
+		total.Slowed += st.Slowed
+		total.Stalled += st.Stalled
+		total.Failed += st.Failed
+	}
+	return total
+}
+
+// Close shuts every booted server down.
+func (p *ServerPool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, srv := range p.servers {
+		srv.hs.Close()
+	}
+	p.servers = make(map[profileKey]*poolServer)
+}
+
+// queryPayload mirrors the server's /api/query response fields the
+// conformance checks read.
+type queryPayload struct {
+	Action   string `json:"action"`
+	Speech   string `json:"speech"`
+	Degraded bool   `json:"degraded"`
+	ServedBy string `json:"servedBy"`
+	Fallback string `json:"fallback"`
+	Error    string `json:"error"`
+}
+
+// RunLive executes a spec over HTTP against base. The spec's in-process-
+// only expectations (tendency, bounds, warnings) are skipped — they need
+// the structured planner output — while the admission-layer contracts the
+// in-process runner cannot see (status codes, servedBy, fallback,
+// Retry-After on sheds) are enforced here. runID namespaces sessions so
+// repeated runs against one server never share exploration state.
+func RunLive(ctx context.Context, client *http.Client, base string, s *Spec, runID string) (*Result, error) {
+	workers := s.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	results := make([]*sessionRun, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = runLiveSession(ctx, client, base, s, runID, w)
+		}(w)
+	}
+	wg.Wait()
+	res := &Result{Spec: s, Wall: time.Since(start)}
+	for _, sr := range results {
+		res.Steps = append(res.Steps, sr.steps...)
+		res.Violations = append(res.Violations, sr.violations.list...)
+	}
+	return res, nil
+}
+
+// runLiveSession walks one HTTP session through the script.
+func runLiveSession(ctx context.Context, client *http.Client, base string, s *Spec, runID string, worker int) *sessionRun {
+	sr := &sessionRun{}
+	session := fmt.Sprintf("scn-%s-%s-%d", runID, s.Name, worker)
+	for i, step := range s.Script {
+		sr.violations.step = i
+		input := step.Input
+		if c := step.Corrupt; c != nil {
+			input = nlq.NewCorrupter(nlq.CorruptConfig{
+				Seed: c.Seed + int64(worker), Rate: c.Rate, Homophones: c.Homophones,
+			}).Corrupt(input)
+		}
+		method := step.Method
+		if method == "" {
+			method = "this"
+		}
+		rec := StepResult{Step: i, Session: worker, Input: input}
+		callStart := time.Now()
+		code, hdr, payload, err := postQuery(ctx, client, base, session, s.Dataset.Name, input, method)
+		rec.Latency = time.Since(callStart)
+		if err != nil {
+			sr.violations.addf("transport", "step %q: %v", input, err)
+			sr.steps = append(sr.steps, rec)
+			continue
+		}
+		sr.checkLiveStep(s, step, method, code, hdr, payload, &rec)
+		sr.steps = append(sr.steps, rec)
+	}
+	return sr
+}
+
+// checkLiveStep applies the live-transport expectations to one response.
+func (sr *sessionRun) checkLiveStep(s *Spec, step Step, method string, code int, hdr http.Header, payload queryPayload, rec *StepResult) {
+	vs := &sr.violations
+	e := step.Expect
+
+	if e.ParseError {
+		if code != http.StatusUnprocessableEntity {
+			vs.addf("status", "input %q: status %d, want 422 for a parse error", rec.Input, code)
+		}
+		return
+	}
+	switch code {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		// A clean shed: acceptable only in overload scenarios, and only
+		// with the Retry-After hint the admission layer promises.
+		rec.Shed = true
+		if !s.Live.AllowShed {
+			vs.addf("status", "input %q: shed with %d but the scenario does not allow sheds", rec.Input, code)
+		}
+		if hdr.Get("Retry-After") == "" {
+			vs.addf("status", "input %q: shed with %d but no Retry-After header", rec.Input, code)
+		}
+		return
+	case statusClientClosedRequest, http.StatusRequestTimeout:
+		vs.addf("status", "input %q: status %d (client gave up) — raise the client timeout", rec.Input, code)
+		return
+	default:
+		vs.addf("status", "input %q: unexpected status %d (%s)", rec.Input, code, payload.Error)
+		return
+	}
+
+	rec.Action = payload.Action
+	if e.Action != "" && payload.Action != e.Action {
+		vs.addf("action", "input %q: action %q, want %q", rec.Input, payload.Action, e.Action)
+	}
+	if !e.Speech {
+		return
+	}
+	rec.Spoke = payload.Speech != ""
+	rec.Degraded = payload.Degraded
+	rec.ServedBy = payload.ServedBy
+	rec.Fallback = payload.Fallback
+
+	// Admission-layer contracts: servedBy names a real vocalizer, and a
+	// fallback always means a holistic request answered by the prior.
+	switch payload.ServedBy {
+	case "this", "prior":
+	default:
+		vs.addf("servedBy", "input %q: servedBy %q", rec.Input, payload.ServedBy)
+	}
+	switch payload.Fallback {
+	case "", "brownout", "breaker":
+	default:
+		vs.addf("fallback", "input %q: unknown fallback %q", rec.Input, payload.Fallback)
+	}
+	if payload.Fallback != "" && !(method == "this" && payload.ServedBy == "prior") {
+		vs.addf("fallback", "input %q: fallback %q with method %q served by %q",
+			rec.Input, payload.Fallback, method, payload.ServedBy)
+	}
+	if payload.Fallback == "" && payload.ServedBy != method {
+		vs.addf("fallback", "input %q: served by %q without a fallback reason", rec.Input, payload.ServedBy)
+	}
+	vs.checkSpeechText(payload.Speech, payload.ServedBy, e)
+	vs.checkDegraded(payload.Degraded, e)
+}
+
+// postQuery issues one /api/query call.
+func postQuery(ctx context.Context, client *http.Client, base, session, dataset, input, method string) (int, http.Header, queryPayload, error) {
+	body, err := json.Marshal(map[string]string{
+		"session": session, "dataset": dataset, "input": input, "method": method,
+	})
+	if err != nil {
+		return 0, nil, queryPayload{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, "POST", base+"/api/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, queryPayload{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", session)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, queryPayload{}, err
+	}
+	defer resp.Body.Close()
+	var payload queryPayload
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil && err != io.EOF {
+		return resp.StatusCode, resp.Header, payload, fmt.Errorf("decode: %w", err)
+	}
+	return resp.StatusCode, resp.Header, payload, nil
+}

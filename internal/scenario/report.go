@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"sort"
+	"time"
+)
+
+// ScenarioReport is one scenario's row in the pass/fail matrix.
+type ScenarioReport struct {
+	Name  string   `json:"name"`
+	Class string   `json:"class"`
+	Attrs []string `json:"attrs"`
+	Pass  bool     `json:"pass"`
+	// Skipped marks scenarios the runner could not execute against the
+	// chosen target (live-tuned specs against an external server).
+	Skipped bool `json:"skipped,omitempty"`
+	// Steps counts executed steps over all parallel sessions.
+	Steps int `json:"steps"`
+	// SpeechAnswers, Degraded, Fallbacks and Shed count step outcomes.
+	SpeechAnswers int `json:"speechAnswers"`
+	Degraded      int `json:"degraded"`
+	Fallbacks     int `json:"fallbacks"`
+	Shed          int `json:"shed"`
+	// LatencyMS summarizes per-answer wall latency.
+	LatencyMS map[string]float64 `json:"latencyMs,omitempty"`
+	// WallMS is the scenario's total wall time.
+	WallMS float64 `json:"wallMs"`
+	// Violations lists the failed expectations (empty when Pass).
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Report is the BENCH_scenarios.json artifact.
+type Report struct {
+	Bench string `json:"bench"`
+	// Mode is "in-process" or "live".
+	Mode      string           `json:"mode"`
+	WallMS    float64          `json:"wallMs"`
+	Scenarios []ScenarioReport `json:"scenarios"`
+	Pass      int              `json:"pass"`
+	Fail      int              `json:"fail"`
+	Skip      int              `json:"skip"`
+	// Config echoes the runner configuration for trend comparability.
+	Config map[string]any `json:"config,omitempty"`
+	// Faults sums injected-fault counts over all booted servers.
+	Faults any `json:"faults,omitempty"`
+}
+
+// Summarize builds a scenario's report row from its result.
+func Summarize(res *Result) ScenarioReport {
+	sr := ScenarioReport{
+		Name:   res.Spec.Name,
+		Class:  res.Spec.Class(),
+		Attrs:  res.Spec.Attrs,
+		Pass:   res.Passed(),
+		Steps:  len(res.Steps),
+		WallMS: float64(res.Wall) / float64(time.Millisecond),
+	}
+	var latencies []time.Duration
+	for _, st := range res.Steps {
+		if st.Spoke {
+			sr.SpeechAnswers++
+			latencies = append(latencies, st.Latency)
+		}
+		if st.Degraded {
+			sr.Degraded++
+		}
+		if st.Fallback != "" {
+			sr.Fallbacks++
+		}
+		if st.Shed {
+			sr.Shed++
+		}
+	}
+	if len(latencies) > 0 {
+		sr.LatencyMS = map[string]float64{
+			"p50": quantileMS(latencies, 0.50),
+			"max": quantileMS(latencies, 1.0),
+		}
+	}
+	sr.Violations = res.Violations
+	return sr
+}
+
+// SkippedReport builds the row for a spec the runner could not execute.
+func SkippedReport(s *Spec) ScenarioReport {
+	return ScenarioReport{Name: s.Name, Class: s.Class(), Attrs: s.Attrs, Pass: true, Skipped: true}
+}
+
+// NewReport assembles the matrix.
+func NewReport(mode string, wall time.Duration, rows []ScenarioReport) *Report {
+	r := &Report{
+		Bench:     "scenarios",
+		Mode:      mode,
+		WallMS:    float64(wall) / float64(time.Millisecond),
+		Scenarios: rows,
+	}
+	for _, row := range r.Scenarios {
+		switch {
+		case row.Skipped:
+			r.Skip++
+		case row.Pass:
+			r.Pass++
+		default:
+			r.Fail++
+		}
+	}
+	return r
+}
+
+// quantileMS returns the q-quantile of latencies in milliseconds.
+func quantileMS(latencies []time.Duration, q float64) float64 {
+	if len(latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}

@@ -1,0 +1,277 @@
+// Package scenario is a declarative end-to-end conformance registry for
+// the voice-OLAP system, in the style of tast test bundles: one scenario
+// is a named spec — dataset, planner knobs, fault profile, and a script of
+// utterances with expected speech properties — and two runners execute the
+// same spec. The in-process runner (see Run) drives nlq sessions and the
+// core vocalizers directly and is what `go test ./internal/scenario/...`
+// executes, race-detector clean and in parallel. The live runner (see
+// RunLive and cmd/scenarios) drives the identical specs over HTTP against
+// a voiceolapd-style server and additionally checks the admission layer's
+// servedBy/fallback/status-code contracts.
+//
+// The registry converts the paper's implicit correctness knowledge —
+// grammar-valid speech, truthful refinement tendencies, confidence-
+// interval sanity, graceful degradation under storage faults and overload
+// — into an executable, extensible conformance surface: adding a workload
+// is writing one Spec literal.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// Well-known Attrs tags. Every spec carries exactly one class tag plus any
+// number of free-form tags; runners and CI filter on them.
+const (
+	// AttrNominal marks clean-path workloads ported from examples/.
+	AttrNominal = "nominal"
+	// AttrASR marks scripts with injected speech-recognition noise.
+	AttrASR = "asr"
+	// AttrMultiTurn marks anaphora-heavy multi-turn scripts.
+	AttrMultiTurn = "multiturn"
+	// AttrFault marks scripts run against injected storage faults.
+	AttrFault = "fault"
+	// AttrOverload marks concurrent scripts that probe admission control.
+	AttrOverload = "overload"
+	// AttrUncertainty marks scripts checking the Section 4.4 extension.
+	AttrUncertainty = "uncertainty"
+	// AttrLiveTuned marks specs whose expectations depend on the live
+	// server profile (timeouts, queue depths, injected faults). The live
+	// runner skips them in -target mode, where it cannot control the
+	// server's configuration.
+	AttrLiveTuned = "live-tuned"
+)
+
+// DatasetSpec selects and sizes the generated dataset a scenario runs on.
+type DatasetSpec struct {
+	// Name is the dataset family: "flights" or "salaries".
+	Name string
+	// Rows sizes the generated table (flights only; zero selects 5000).
+	Rows int
+	// Seed drives generation; equal specs share one cached dataset.
+	Seed int64
+}
+
+// PlannerSpec overrides core.Config knobs for the in-process runner; zero
+// fields keep the runner's defaults (which mirror the live server's).
+type PlannerSpec struct {
+	// Seed drives the planner's randomized components (default 1).
+	Seed int64
+	// InitialRows, RowsPerRound, SamplesPerRound, MinRounds and
+	// MaxRoundsPerSentence override the sampling budget.
+	InitialRows          int
+	RowsPerRound         int
+	SamplesPerRound      int
+	MinRounds            int
+	MaxRoundsPerSentence int
+	// Uncertainty selects the confidence extension for holistic answers.
+	Uncertainty core.UncertaintyMode
+	// Confidence is the level for bounds and warnings (default 0.95).
+	Confidence float64
+	// WarnRelativeWidth is the warning trigger width (default 0.5).
+	WarnRelativeWidth float64
+}
+
+// LiveSpec tunes the live server profile a scenario needs. Specs with a
+// non-zero LiveSpec must also carry AttrLiveTuned: the live runner boots a
+// dedicated server with these options, and skips the spec when pointed at
+// an externally managed server.
+type LiveSpec struct {
+	// MaxConcurrent bounds vocalization slots (zero keeps the default).
+	MaxConcurrent int
+	// QueueDepth bounds the admission queue (meaningful with
+	// MaxConcurrent; zero sheds at saturation).
+	QueueDepth int
+	// AllowShed accepts clean 429/503 sheds as step outcomes instead of
+	// violations — the overload contract is "refuse cleanly", not "never
+	// refuse".
+	AllowShed bool
+}
+
+// CorruptSpec applies seeded ASR noise to a step's input before parsing.
+type CorruptSpec struct {
+	// Seed fixes the corruption stream.
+	Seed int64
+	// Rate is the per-word corruption probability (zero selects 1).
+	Rate float64
+	// Homophones enables whole-word homophone confusions.
+	Homophones bool
+}
+
+// Expect declares the properties a step's outcome must satisfy. The zero
+// value only checks that the step parses.
+type Expect struct {
+	// Action, when non-empty, pins the interpreter's Response.Action.
+	Action string
+	// ParseError expects the utterance to be rejected by the interpreter
+	// (HTTP 422 in the live runner).
+	ParseError bool
+	// Speech expects a vocalized answer whose text conforms to the
+	// grammar of whichever vocalizer served it.
+	Speech bool
+	// MaxChars bounds the spoken main text (zero: the grammar's own 300-
+	// char preference is still enforced via conformance).
+	MaxChars int
+	// MinRefinements requires at least this many refinement sentences
+	// (holistic, non-degraded answers only).
+	MinRefinements int
+	// Tendency verifies every refinement's spoken direction against the
+	// exact query result (in-process only; skipped on degraded answers).
+	Tendency bool
+	// BoundsSane requires at least one spoken confidence bound, each
+	// matching the bounds sentence form (in-process only).
+	BoundsSane bool
+	// Warning requires the low-confidence warning to be spoken
+	// (in-process only).
+	Warning bool
+	// Degraded, when non-nil, pins the answer's degraded flag.
+	Degraded *bool
+}
+
+// Step is one utterance of a scenario script.
+type Step struct {
+	// Input is the clean utterance.
+	Input string
+	// Corrupt, when non-nil, replaces Input with its seeded ASR-noise
+	// corruption before parsing.
+	Corrupt *CorruptSpec
+	// Method selects the vocalizer: "this" (default) or "prior".
+	Method string
+	// Expect declares the required outcome.
+	Expect Expect
+}
+
+// Spec is one declarative scenario.
+type Spec struct {
+	// Name uniquely identifies the scenario ("nominal/regions-seasons").
+	Name string
+	// Desc says what the scenario proves, for humans and reports.
+	Desc string
+	// Attrs tag the scenario for filtering; the first entry is the class.
+	Attrs []string
+	// Dataset selects the generated dataset.
+	Dataset DatasetSpec
+	// Planner overrides in-process planner knobs.
+	Planner PlannerSpec
+	// Faults injects storage faults into every matching scan.
+	Faults faults.InjectorOptions
+	// StepTimeout bounds each vocalization (in-process: the context
+	// deadline; live: the profile's RequestTimeout). Zero means generous.
+	StepTimeout time.Duration
+	// Live tunes the dedicated live-server profile.
+	Live LiveSpec
+	// Parallel runs the script in this many concurrent sessions (default
+	// 1); each session gets an independent nlq state over the shared
+	// dataset.
+	Parallel int
+	// Script is the utterance sequence every session walks through.
+	Script []Step
+}
+
+// Class returns the scenario's class tag (the first attribute).
+func (s *Spec) Class() string {
+	if len(s.Attrs) == 0 {
+		return ""
+	}
+	return s.Attrs[0]
+}
+
+// HasAttr reports whether the spec carries the tag.
+func (s *Spec) HasAttr(tag string) bool {
+	for _, a := range s.Attrs {
+		if a == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveTuned reports whether the spec depends on a controlled server
+// profile and must be skipped against external targets.
+func (s *Spec) LiveTuned() bool {
+	return s.HasAttr(AttrLiveTuned) || s.Faults.Enabled() ||
+		s.Live != (LiveSpec{}) || s.StepTimeout != 0
+}
+
+// registry state; Register runs from init and tests read concurrently.
+var (
+	regMu   sync.Mutex
+	regList []*Spec
+	regByNm = map[string]*Spec{}
+)
+
+// Register adds a spec to the registry; it panics on invalid or duplicate
+// specs so a bad registration fails the build's tests immediately.
+func Register(s *Spec) {
+	if err := s.validate(); err != nil {
+		panic(fmt.Sprintf("scenario: register %q: %v", s.Name, err))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByNm[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate scenario %q", s.Name))
+	}
+	regByNm[s.Name] = s
+	regList = append(regList, s)
+}
+
+// validate rejects malformed specs.
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("name required")
+	}
+	if s.Desc == "" {
+		return fmt.Errorf("desc required")
+	}
+	if len(s.Attrs) == 0 {
+		return fmt.Errorf("at least one attr (the class) required")
+	}
+	switch s.Dataset.Name {
+	case "flights", "salaries":
+	default:
+		return fmt.Errorf("unknown dataset %q", s.Dataset.Name)
+	}
+	if len(s.Script) == 0 {
+		return fmt.Errorf("empty script")
+	}
+	for i, st := range s.Script {
+		switch st.Method {
+		case "", "this", "prior":
+		default:
+			return fmt.Errorf("step %d: unknown method %q", i, st.Method)
+		}
+		if st.Expect.ParseError && st.Expect.Speech {
+			return fmt.Errorf("step %d: ParseError and Speech are exclusive", i)
+		}
+	}
+	if s.LiveTuned() && !s.HasAttr(AttrLiveTuned) {
+		return fmt.Errorf("faults/live/timeout profile requires the %q attr", AttrLiveTuned)
+	}
+	return nil
+}
+
+// All returns the registered specs sorted by name.
+func All() []*Spec {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*Spec, len(regList))
+	copy(out, regList)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns a registered spec, or nil.
+func ByName(name string) *Spec {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return regByNm[name]
+}
+
+// pbool makes Expect.Degraded literals readable.
+func pbool(b bool) *bool { return &b }
