@@ -90,7 +90,11 @@ func run() error {
 			}
 			base = b
 		}
-		res, err := scenario.RunLive(context.Background(), client, base, s, runID)
+		var rel scenario.Reloader
+		if pool != nil {
+			rel = pool
+		}
+		res, err := scenario.RunLive(context.Background(), client, base, s, runID, rel)
 		if err != nil {
 			return fmt.Errorf("run %s: %w", s.Name, err)
 		}

@@ -22,9 +22,18 @@
 //	           [-brownout-target 0] [-brownout-window 64] [-brownout-hold 2s]
 //	           [-breaker-threshold 0] [-breaker-cooldown 10s]
 //	           [-log-cap 10000] [-max-sessions 1024] [-session-ttl 1h]
+//	           [-semcache-entries 1024] [-semcache-views 64] [-pool-size 4]
 //	           [-read-timeout 30s] [-write-timeout 60s] [-idle-timeout 2m]
 //	           [-debug-addr 127.0.0.1:6060]
 //	           [-fault-slow-every 0] [-fault-stall-every 0] [-fault-fail-every 0]
+//
+// Repeated voice queries are nearly free: a semantic answer cache keyed
+// by canonical query (scope order and dimension synonyms normalized away)
+// replays finished speeches for equivalent requests, a warmed sample-view
+// cache skips scan cost on partial hits, and per-dataset session pools
+// hand out pre-cloned sessions. The query port exposes Prometheus-style
+// text metrics at /metrics (serving, brownout, breaker, semcache, and
+// latency-quantile counters).
 //
 // -debug-addr serves net/http/pprof on its own listener and mux, so
 // planner hot spots are profileable in production without ever exposing
@@ -103,6 +112,9 @@ func run() error {
 	logCap := flag.Int("log-cap", 10000, "query-log ring capacity")
 	maxSessions := flag.Int("max-sessions", 1024, "live session cap (LRU eviction beyond it)")
 	sessionTTL := flag.Duration("session-ttl", time.Hour, "idle session eviction deadline")
+	semcacheEntries := flag.Int("semcache-entries", 1024, "semantic answer cache capacity (negative disables; equivalent repeat queries replay for free)")
+	semcacheViews := flag.Int("semcache-views", 64, "warmed sample-view cache capacity (negative disables; repeat queries skip scan cost)")
+	poolSize := flag.Int("pool-size", 4, "per-dataset warm session pool size (negative disables)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "HTTP server read timeout")
 	writeTimeout := flag.Duration("write-timeout", 60*time.Second, "HTTP server write timeout (keep above -request-timeout)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "HTTP keep-alive idle timeout")
@@ -163,6 +175,9 @@ func run() error {
 		LogCap:           *logCap,
 		MaxSessions:      *maxSessions,
 		SessionTTL:       *sessionTTL,
+		SemCacheEntries:  *semcacheEntries,
+		SemCacheViews:    *semcacheViews,
+		PoolSize:         *poolSize,
 	}
 	srv, err := web.NewServerWith(cfg, opts,
 		web.DatasetInfo{Name: "flights", Dataset: flights, MeasureCol: "cancelled",
@@ -173,6 +188,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 
 	if *debugAddr != "" {
 		dln, derr := net.Listen("tcp", *debugAddr)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,15 @@ func (w *Warm) Query() olap.Query { return w.view.Space().Query() }
 // sample source: no rows are read at query time. Uncertainty modes are not
 // supported (bounds come from the on-line cache) and are rejected.
 func (w *Warm) Vocalize() (*Output, error) {
+	return w.VocalizeContext(context.Background())
+}
+
+// VocalizeContext is Vocalize bound to ctx. Like the other vocalizers,
+// cancellation and deadline expiry degrade instead of erroring: the
+// committed sentence prefix (at minimum the preamble) is returned with
+// Degraded set, so the web layer's tier-B cache path keeps the same
+// degrade-not-error contract as the cold path.
+func (w *Warm) VocalizeContext(ctx context.Context) (*Output, error) {
 	if w.view == nil {
 		return nil, errors.New("core: warm vocalizer needs a view")
 	}
@@ -58,6 +68,14 @@ func (w *Warm) Vocalize() (*Output, error) {
 	s.speaker.Start(preamble.Text())
 	latency := cfg.Clock.Now().Sub(start)
 
+	if ctx.Err() != nil {
+		return markDegraded(&Output{
+			Speech:     &speech.Speech{Preamble: preamble},
+			Latency:    latency,
+			Transcript: s.speaker.Transcript(),
+		}, ctx), nil
+	}
+
 	scale, ok := w.view.GrandEstimate()
 	if !ok {
 		scale = 0
@@ -73,9 +91,14 @@ func (w *Warm) Vocalize() (*Output, error) {
 	s.simCharge(tree.NodeCount())
 
 	var treeSamples int64
-	for {
+	cancelled := false
+	for !cancelled {
 		rounds := 0
 		for s.speaker.IsPlaying() || rounds < cfg.MinRounds {
+			if ctx.Err() != nil {
+				cancelled = true
+				break
+			}
 			if cfg.MaxRoundsPerSentence > 0 && rounds >= cfg.MaxRoundsPerSentence {
 				break
 			}
@@ -87,6 +110,11 @@ func (w *Warm) Vocalize() (*Output, error) {
 			rounds++
 			s.simAdvance()
 		}
+		if cancelled {
+			// Never commit a sentence the deadline left no time to
+			// evaluate: the committed prefix is the degraded answer.
+			break
+		}
 		best := tree.BestChild()
 		if best == nil {
 			break
@@ -95,14 +123,14 @@ func (w *Warm) Vocalize() (*Output, error) {
 		s.speaker.Start(tree.Speech(best).LastSentence())
 	}
 
-	return &Output{
+	return markDegraded(&Output{
 		Speech:       tree.Speech(tree.Root()),
 		Latency:      latency,
 		PlanningTime: cfg.Clock.Now().Sub(start),
 		TreeSamples:  treeSamples,
 		Transcript:   s.speaker.Transcript(),
-	}, nil
+	}, ctx), nil
 }
 
 // Compile-time interface check.
-var _ Vocalizer = (*Warm)(nil)
+var _ ContextVocalizer = (*Warm)(nil)

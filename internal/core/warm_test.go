@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -84,6 +85,39 @@ func TestWarmRejectsBadConfigurations(t *testing.T) {
 	other, _ := flightsQuery(t, 5000, 84)
 	if _, err := NewWarm(other, view, testConfig(24)).Vocalize(); err == nil {
 		t.Error("foreign dataset should be rejected")
+	}
+}
+
+// TestWarmVocalizeContextDegrades pins the degrade-not-error contract: an
+// expired context yields a valid (preamble-only) speech with Degraded set,
+// and an open context matches plain Vocalize bit for bit.
+func TestWarmVocalizeContextDegrades(t *testing.T) {
+	d, q := flightsQuery(t, 5000, 86)
+	view := buildView(t, d, q, 64)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := NewWarm(d, view, testConfig(26)).VocalizeContext(ctx)
+	if err != nil {
+		t.Fatalf("expired context must degrade, not error: %v", err)
+	}
+	if !out.Degraded || out.DegradeReason == "" {
+		t.Errorf("degraded = %v reason = %q, want flagged", out.Degraded, out.DegradeReason)
+	}
+	if out.Speech == nil || out.Speech.Preamble == nil {
+		t.Fatal("degraded warm answer must still carry the preamble")
+	}
+
+	plain, err := NewWarm(d, view, testConfig(27)).Vocalize()
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	viaCtx, err := NewWarm(d, view, testConfig(27)).VocalizeContext(context.Background())
+	if err != nil {
+		t.Fatalf("warm ctx: %v", err)
+	}
+	if plain.Text() != viaCtx.Text() {
+		t.Errorf("open-context speech differs from Vocalize:\n  %q\n  %q", plain.Text(), viaCtx.Text())
 	}
 }
 

@@ -31,10 +31,14 @@ type PipelineConfig struct {
 // throughputs plus the multicore speedup. benchrunner -exp pipeline writes
 // it to BENCH_pipeline.json.
 type PipelineResult struct {
-	Rows       int    `json:"rows"`
-	Workers    int    `json:"workers"`
-	GenWorkers int    `json:"gen_workers"`
+	Rows       int `json:"rows"`
+	Workers    int `json:"workers"`
+	GenWorkers int `json:"gen_workers"`
+	// NumCPU and Gomaxprocs pin the machine the numbers were taken on:
+	// cross-machine comparisons of the parallel figures are meaningless
+	// without them.
 	NumCPU     int    `json:"num_cpu"`
+	Gomaxprocs int    `json:"gomaxprocs"`
 	Query      string `json:"query"`
 
 	GenNs              int64   `json:"gen_ns"`
@@ -47,6 +51,10 @@ type PipelineResult struct {
 	SequentialRowsPerSec float64 `json:"sequential_eval_rows_per_sec"`
 	ParallelRowsPerSec   float64 `json:"parallel_eval_rows_per_sec"`
 	Speedup              float64 `json:"speedup"`
+	// ParallelNote explains a zero parallel measurement: on a single-CPU
+	// runner the parallel evaluation is skipped — a "speedup" measured
+	// there is scheduler noise, not a result.
+	ParallelNote string `json:"parallel_note,omitempty"`
 }
 
 // timeBest runs f reps times and returns the fastest duration: the least
@@ -129,11 +137,17 @@ func Pipeline(cfg PipelineConfig) (*PipelineResult, error) {
 			err = eerr
 		}
 	})
-	parNs := timeBest(3, func() {
-		if _, eerr := olap.EvaluateSpaceWorkers(space, workers); eerr != nil {
-			err = eerr
-		}
-	})
+	var parNs time.Duration
+	var parallelNote string
+	if runtime.NumCPU() < 2 {
+		parallelNote = "parallel evaluation skipped: single-CPU runner (workers need distinct cores for speedup to mean anything)"
+	} else {
+		parNs = timeBest(3, func() {
+			if _, eerr := olap.EvaluateSpaceWorkers(space, workers); eerr != nil {
+				err = eerr
+			}
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -143,6 +157,7 @@ func Pipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		Workers:    workers,
 		GenWorkers: cfg.GenWorkers,
 		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
 		Query:      "-,RD",
 
 		GenNs:              genNs,
@@ -154,6 +169,7 @@ func Pipeline(cfg PipelineConfig) (*PipelineResult, error) {
 		ParallelNs:           parNs.Nanoseconds(),
 		SequentialRowsPerSec: rowsPerSec(seqNs),
 		ParallelRowsPerSec:   rowsPerSec(parNs),
+		ParallelNote:         parallelNote,
 	}
 	if parNs > 0 {
 		res.Speedup = float64(seqNs) / float64(parNs)
@@ -170,12 +186,16 @@ func (r *PipelineResult) WriteJSON(w io.Writer) error {
 
 // PrintPipeline prints the human-readable summary.
 func PrintPipeline(w io.Writer, r *PipelineResult) {
-	fmt.Fprintf(w, "Row pipeline — %d rows, %d eval workers (%d CPUs), query %s\n",
-		r.Rows, r.Workers, r.NumCPU, r.Query)
+	fmt.Fprintf(w, "Row pipeline — %d rows, %d eval workers (%d CPUs, GOMAXPROCS %d), query %s\n",
+		r.Rows, r.Workers, r.NumCPU, r.Gomaxprocs, r.Query)
 	fmt.Fprintf(w, "  datagen (%d workers):   %10.0f rows/s\n", max(1, r.GenWorkers), r.GenRowsPerSec)
 	fmt.Fprintf(w, "  dense classification:  %10.0f rows/s\n", r.ClassifyRowsPerSec)
 	fmt.Fprintf(w, "  batched cache insert:  %10.0f rows/s\n", r.InsertRowsPerSec)
 	fmt.Fprintf(w, "  exact eval sequential: %10.0f rows/s\n", r.SequentialRowsPerSec)
-	fmt.Fprintf(w, "  exact eval parallel:   %10.0f rows/s  (speedup %.2fx)\n",
-		r.ParallelRowsPerSec, r.Speedup)
+	if r.ParallelNote != "" {
+		fmt.Fprintf(w, "  exact eval parallel:   %s\n", r.ParallelNote)
+	} else {
+		fmt.Fprintf(w, "  exact eval parallel:   %10.0f rows/s  (speedup %.2fx)\n",
+			r.ParallelRowsPerSec, r.Speedup)
+	}
 }

@@ -62,8 +62,12 @@ type ParallelSample struct {
 // PlannerResult is the machine-readable record of the planner benchmark.
 // benchrunner -exp planner writes it to BENCH_planner.json.
 type PlannerResult struct {
-	Rows       int    `json:"rows"`
+	Rows int `json:"rows"`
+	// NumCPU and Gomaxprocs pin the machine the numbers were taken on:
+	// cross-machine comparisons of the parallel figures are meaningless
+	// without them.
 	NumCPU     int    `json:"num_cpu"`
+	Gomaxprocs int    `json:"gomaxprocs"`
 	Query      string `json:"query"`
 	Aggregates int    `json:"aggregates"`
 
@@ -98,6 +102,10 @@ type PlannerResult struct {
 	SequentialNs           int64            `json:"sequential_sample_ns"`
 	SequentialRoundsPerSec float64          `json:"sequential_rounds_per_sec"`
 	Parallel               []ParallelSample `json:"parallel"`
+	// ParallelNote explains an empty Parallel sweep: on a single-CPU
+	// runner the sweep is skipped outright — a "speedup" measured there
+	// is scheduler noise, not a result.
+	ParallelNote string `json:"parallel_note,omitempty"`
 
 	// Allocation accounting for the sequential sampler's path pooling.
 	AllocsPerRoundPooled   float64 `json:"allocs_per_round_pooled"`
@@ -560,16 +568,21 @@ func Planner(cfg PlannerConfig) (*PlannerResult, error) {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	var parallel []ParallelSample
-	for w := 2; w <= maxWorkers; w *= 2 {
-		d, merr := measure(w)
-		if merr != nil {
-			return nil, fmt.Errorf("experiments: %w", merr)
+	var parallelNote string
+	if runtime.NumCPU() < 2 {
+		parallelNote = "parallel sweep skipped: single-CPU runner (virtual-loss workers need distinct cores for speedup to mean anything)"
+	} else {
+		for w := 2; w <= maxWorkers; w *= 2 {
+			d, merr := measure(w)
+			if merr != nil {
+				return nil, fmt.Errorf("experiments: %w", merr)
+			}
+			ps := ParallelSample{Workers: w, Ns: d.Nanoseconds(), RoundsPerSec: roundsPerSec(d)}
+			if d > 0 {
+				ps.Speedup = float64(seqNs) / float64(d)
+			}
+			parallel = append(parallel, ps)
 		}
-		ps := ParallelSample{Workers: w, Ns: d.Nanoseconds(), RoundsPerSec: roundsPerSec(d)}
-		if d > 0 {
-			ps.Speedup = float64(seqNs) / float64(d)
-		}
-		parallel = append(parallel, ps)
 	}
 
 	// Allocations per sequential round, with and without path pooling.
@@ -610,6 +623,7 @@ func Planner(cfg PlannerConfig) (*PlannerResult, error) {
 	res := &PlannerResult{
 		Rows:       flights.Table().NumRows(),
 		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
 		Query:      "-," + dims,
 		Aggregates: space.Size(),
 
@@ -628,6 +642,7 @@ func Planner(cfg PlannerConfig) (*PlannerResult, error) {
 		SequentialNs:           seqNs.Nanoseconds(),
 		SequentialRoundsPerSec: roundsPerSec(seqNs),
 		Parallel:               parallel,
+		ParallelNote:           parallelNote,
 
 		AllocsPerRoundPooled:   pooled,
 		AllocsPerRoundUnpooled: unpooled,
@@ -651,8 +666,8 @@ func (r *PlannerResult) WriteJSON(w io.Writer) error {
 
 // PrintPlanner prints the human-readable summary.
 func PrintPlanner(w io.Writer, r *PlannerResult) {
-	fmt.Fprintf(w, "Planner — %d rows, %d aggregates (%d CPUs), query %s\n",
-		r.Rows, r.Aggregates, r.NumCPU, r.Query)
+	fmt.Fprintf(w, "Planner — %d rows, %d aggregates (%d CPUs, GOMAXPROCS %d), query %s\n",
+		r.Rows, r.Aggregates, r.NumCPU, r.Gomaxprocs, r.Query)
 	fmt.Fprintf(w, "  exhaustive search over %d speeches (identical choice: %v)\n",
 		r.SpeechesScored, r.IdenticalChoice)
 	fmt.Fprintf(w, "    legacy loop:        %10.0f ns/speech\n", r.LegacyNsPerSpeech)
@@ -665,6 +680,9 @@ func PrintPlanner(w io.Writer, r *PlannerResult) {
 	for _, p := range r.Parallel {
 		fmt.Fprintf(w, "    %d workers:          %10.0f rounds/s  (speedup %.2fx)\n",
 			p.Workers, p.RoundsPerSec, p.Speedup)
+	}
+	if r.ParallelNote != "" {
+		fmt.Fprintf(w, "    %s\n", r.ParallelNote)
 	}
 	fmt.Fprintf(w, "  allocs/round: %.1f pooled, %.1f unpooled\n",
 		r.AllocsPerRoundPooled, r.AllocsPerRoundUnpooled)

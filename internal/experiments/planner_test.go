@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -81,11 +82,21 @@ func TestPlannerSmoke(t *testing.T) {
 	if r.SequentialRoundsPerSec <= 0 {
 		t.Error("sequential sampling throughput missing")
 	}
-	if len(r.Parallel) != 1 || r.Parallel[0].Workers != 2 {
-		t.Fatalf("expected one parallel sample at 2 workers, got %+v", r.Parallel)
+	if runtime.NumCPU() < 2 {
+		// Single-CPU runners skip the sweep and must say so.
+		if len(r.Parallel) != 0 || r.ParallelNote == "" {
+			t.Fatalf("single-CPU run should skip the sweep with a note, got %+v / %q", r.Parallel, r.ParallelNote)
+		}
+	} else {
+		if len(r.Parallel) != 1 || r.Parallel[0].Workers != 2 {
+			t.Fatalf("expected one parallel sample at 2 workers, got %+v", r.Parallel)
+		}
+		if r.Parallel[0].RoundsPerSec <= 0 {
+			t.Error("parallel sampling throughput missing")
+		}
 	}
-	if r.Parallel[0].RoundsPerSec <= 0 {
-		t.Error("parallel sampling throughput missing")
+	if r.Gomaxprocs <= 0 {
+		t.Error("gomaxprocs stamp missing")
 	}
 	if r.AllocsPerRoundPooled <= 0 || r.AllocsPerRoundUnpooled <= 0 {
 		t.Error("allocation accounting missing")

@@ -379,36 +379,60 @@ func (s *Session) matchHierarchy(text string) *dimension.Hierarchy {
 	return s.synonymHierarchy(text)
 }
 
-// hierarchySynonyms maps spoken aliases to canonical hierarchy names, in
-// deterministic priority order. Voice users reach for everyday words the
-// schema does not use ("carrier" instead of "airline"); ASR output never
-// sees the schema at all. Aliases resolve only against hierarchies the
-// bound dataset actually has, so datasets owning an identically named
-// dimension are unaffected (exact matches are tried first everywhere).
-var hierarchySynonyms = []struct{ alias, canonical string }{
-	{"carrier", "airline"},
-	{"carriers", "airline"},
-	{"operator", "airline"},
-	{"operators", "airline"},
-	{"school", "college location"},
-	{"schools", "college location"},
-	{"university", "college location"},
+// hierarchySynonyms maps lowercase spoken aliases to canonical hierarchy
+// names. Voice users reach for everyday words the schema does not use
+// ("carrier" instead of "airline"); ASR output never sees the schema at
+// all. Aliases resolve only against hierarchies the bound dataset actually
+// has, so datasets owning an identically named dimension are unaffected
+// (exact matches are tried first everywhere). The map is shared with the
+// semantic-cache canonicalizer via CanonicalName, so the parser and the
+// cache key can never disagree about what an alias means.
+var hierarchySynonyms = map[string]string{
+	"carrier":    "airline",
+	"carriers":   "airline",
+	"operator":   "airline",
+	"operators":  "airline",
+	"school":     "college location",
+	"schools":    "college location",
+	"university": "college location",
 }
 
-// synonymHierarchy resolves the first alias mentioned in text to a bound
-// hierarchy, or nil.
+// CanonicalName resolves a spoken dimension phrase to its canonical
+// lowercase hierarchy name: aliases map through the synonym table, every
+// other name just lowercases. Cache canonicalization uses this so a key
+// built from "carrier" and one built from "airline" collide on purpose.
+func CanonicalName(name string) string {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	if canonical, ok := hierarchySynonyms[lower]; ok {
+		return canonical
+	}
+	return lower
+}
+
+// synonymHierarchy resolves the first alias mentioned in text (in text
+// order) to a bound hierarchy, or nil. Each word is one map probe instead
+// of a scan over every alias.
 func (s *Session) synonymHierarchy(text string) *dimension.Hierarchy {
-	for _, syn := range hierarchySynonyms {
-		if !containsWord(text, syn.alias) {
+	for _, word := range splitWords(text) {
+		canonical, ok := hierarchySynonyms[word]
+		if !ok {
 			continue
 		}
 		for _, h := range s.dataset.Hierarchies() {
-			if strings.EqualFold(h.Name, syn.canonical) {
+			if strings.EqualFold(h.Name, canonical) {
 				return h
 			}
 		}
 	}
 	return nil
+}
+
+// splitWords breaks text into lowercase words on the same boundaries
+// containsWord uses, so map-based alias lookup matches scan semantics.
+func splitWords(text string) []string {
+	return strings.FieldsFunc(text, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	})
 }
 
 // matchMembers finds all members whose names appear in the text, keeping

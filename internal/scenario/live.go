@@ -41,10 +41,13 @@ type profileKey struct {
 	live    LiveSpec
 }
 
-// poolServer is one booted server.
+// poolServer is one booted server. The web.Server handle stays retained
+// for Reload steps, which swap datasets (and bump cache epochs) without
+// going through HTTP.
 type poolServer struct {
 	base     string
 	injector *faults.Injector
+	web      *web.Server
 	hs       *http.Server
 	ln       net.Listener
 }
@@ -110,10 +113,13 @@ func (p *ServerPool) boot(key profileKey) (*poolServer, error) {
 		cfg.Scanner = ps.injector.Scanner
 	}
 	opts := web.Options{
-		RequestTimeout: key.timeout,
-		MaxConcurrent:  key.live.MaxConcurrent,
-		QueueDepth:     key.live.QueueDepth,
-		Logf:           func(string, ...any) {}, // scenario noise stays out of reports
+		RequestTimeout:  key.timeout,
+		MaxConcurrent:   key.live.MaxConcurrent,
+		QueueDepth:      key.live.QueueDepth,
+		SemCacheEntries: key.live.SemCacheEntries,
+		SemCacheViews:   key.live.SemCacheViews,
+		PoolSize:        key.live.PoolSize,
+		Logf:            func(string, ...any) {}, // scenario noise stays out of reports
 	}
 	if opts.RequestTimeout <= 0 {
 		opts.RequestTimeout = p.cfg.RequestTimeout
@@ -131,11 +137,37 @@ func (p *ServerPool) boot(key profileKey) (*poolServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	ps.web = srv
 	ps.ln = ln
 	ps.hs = &http.Server{Handler: srv.Handler()}
 	go ps.hs.Serve(ln)
 	ps.base = "http://" + ln.Addr().String()
 	return ps, nil
+}
+
+// Reloader swaps a dataset on the serving side mid-scenario, bumping the
+// server's cache epoch. The pool implements it for in-process servers;
+// external targets cannot be reloaded, which is one reason reload specs
+// are live-tuned and skipped in -target mode.
+type Reloader interface {
+	Reload(s *Spec, ds DatasetSpec) error
+}
+
+// Reload regenerates ds (through the shared dataset cache) and swaps it
+// into the pooled server serving the spec's profile.
+func (p *ServerPool) Reload(s *Spec, ds DatasetSpec) error {
+	key := profileKey{faults: s.Faults, timeout: s.StepTimeout, live: s.Live}
+	p.mu.Lock()
+	srv, ok := p.servers[key]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no pooled server for %q's profile", s.Name)
+	}
+	d, err := dataset(ds)
+	if err != nil {
+		return err
+	}
+	return srv.web.ReloadDataset(ds.Name, d)
 }
 
 // InjectorStats sums fault counts over all booted servers.
@@ -173,6 +205,8 @@ type queryPayload struct {
 	Speech   string `json:"speech"`
 	Degraded bool   `json:"degraded"`
 	ServedBy string `json:"servedBy"`
+	Origin   string `json:"origin"`
+	Cache    string `json:"cache"`
 	Fallback string `json:"fallback"`
 	Error    string `json:"error"`
 }
@@ -181,9 +215,11 @@ type queryPayload struct {
 // only expectations (tendency, bounds, warnings) are skipped — they need
 // the structured planner output — while the admission-layer contracts the
 // in-process runner cannot see (status codes, servedBy, fallback,
-// Retry-After on sheds) are enforced here. runID namespaces sessions so
-// repeated runs against one server never share exploration state.
-func RunLive(ctx context.Context, client *http.Client, base string, s *Spec, runID string) (*Result, error) {
+// Retry-After on sheds, semantic-cache replays) are enforced here. runID
+// namespaces sessions so repeated runs against one server never share
+// exploration state. rel executes Reload steps; it may be nil when the
+// spec has none (external targets skip reload specs as live-tuned).
+func RunLive(ctx context.Context, client *http.Client, base string, s *Spec, runID string, rel Reloader) (*Result, error) {
 	workers := s.Parallel
 	if workers < 1 {
 		workers = 1
@@ -195,7 +231,7 @@ func RunLive(ctx context.Context, client *http.Client, base string, s *Spec, run
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			results[w] = runLiveSession(ctx, client, base, s, runID, w)
+			results[w] = runLiveSession(ctx, client, base, s, runID, rel, w)
 		}(w)
 	}
 	wg.Wait()
@@ -208,11 +244,21 @@ func RunLive(ctx context.Context, client *http.Client, base string, s *Spec, run
 }
 
 // runLiveSession walks one HTTP session through the script.
-func runLiveSession(ctx context.Context, client *http.Client, base string, s *Spec, runID string, worker int) *sessionRun {
+func runLiveSession(ctx context.Context, client *http.Client, base string, s *Spec, runID string, rel Reloader, worker int) *sessionRun {
 	sr := &sessionRun{}
 	session := fmt.Sprintf("scn-%s-%s-%d", runID, s.Name, worker)
 	for i, step := range s.Script {
 		sr.violations.step = i
+		if step.Reload != nil {
+			rec := StepResult{Step: i, Session: worker, Input: "(reload " + step.Reload.Name + ")"}
+			if rel == nil {
+				sr.violations.addf("reload", "scenario swaps a dataset but the runner has no reload control over this server")
+			} else if err := rel.Reload(s, *step.Reload); err != nil {
+				sr.violations.addf("reload", "reload %s: %v", step.Reload.Name, err)
+			}
+			sr.steps = append(sr.steps, rec)
+			continue
+		}
 		input := step.Input
 		if c := step.Corrupt; c != nil {
 			input = nlq.NewCorrupter(nlq.CorruptConfig{
@@ -282,10 +328,43 @@ func (sr *sessionRun) checkLiveStep(s *Spec, step Step, method string, code int,
 	rec.ServedBy = payload.ServedBy
 	rec.Fallback = payload.Fallback
 
-	// Admission-layer contracts: servedBy names a real vocalizer, and a
-	// fallback always means a holistic request answered by the prior.
+	if e.ServedBy != "" && payload.ServedBy != e.ServedBy {
+		vs.addf("servedBy", "input %q: served by %q, want %q", rec.Input, payload.ServedBy, e.ServedBy)
+	}
+
+	// Admission-layer contracts: servedBy names a real vocalizer or the
+	// semantic cache, and a fallback always means a holistic request
+	// answered by the prior. A cache replay is validated against the
+	// vocalizer that originally produced the entry (the origin field) and
+	// must uphold the cache's own guarantees: only full-quality answers
+	// are stored, so a replay is never degraded and never a fallback.
+	vocalizer := payload.ServedBy
 	switch payload.ServedBy {
 	case "this", "prior":
+		if payload.Cache != "" && payload.Cache != "warm" {
+			vs.addf("cache", "input %q: servedBy %q with cache tag %q", rec.Input, payload.ServedBy, payload.Cache)
+		}
+		if payload.Fallback != "" && !(method == "this" && payload.ServedBy == "prior") {
+			vs.addf("fallback", "input %q: fallback %q with method %q served by %q",
+				rec.Input, payload.Fallback, method, payload.ServedBy)
+		}
+		if payload.Fallback == "" && payload.ServedBy != method {
+			vs.addf("fallback", "input %q: served by %q without a fallback reason", rec.Input, payload.ServedBy)
+		}
+	case "cache":
+		vocalizer = payload.Origin
+		if payload.Origin != "this" && payload.Origin != "prior" {
+			vs.addf("cache", "input %q: cache replay with origin %q", rec.Input, payload.Origin)
+		}
+		if payload.Cache != "hit" && payload.Cache != "coalesced" {
+			vs.addf("cache", "input %q: cache replay with cache tag %q", rec.Input, payload.Cache)
+		}
+		if payload.Degraded {
+			vs.addf("cache", "input %q: a degraded answer was served from the cache", rec.Input)
+		}
+		if payload.Fallback != "" {
+			vs.addf("cache", "input %q: cache replay carries fallback %q", rec.Input, payload.Fallback)
+		}
 	default:
 		vs.addf("servedBy", "input %q: servedBy %q", rec.Input, payload.ServedBy)
 	}
@@ -294,14 +373,7 @@ func (sr *sessionRun) checkLiveStep(s *Spec, step Step, method string, code int,
 	default:
 		vs.addf("fallback", "input %q: unknown fallback %q", rec.Input, payload.Fallback)
 	}
-	if payload.Fallback != "" && !(method == "this" && payload.ServedBy == "prior") {
-		vs.addf("fallback", "input %q: fallback %q with method %q served by %q",
-			rec.Input, payload.Fallback, method, payload.ServedBy)
-	}
-	if payload.Fallback == "" && payload.ServedBy != method {
-		vs.addf("fallback", "input %q: served by %q without a fallback reason", rec.Input, payload.ServedBy)
-	}
-	vs.checkSpeechText(payload.Speech, payload.ServedBy, e)
+	vs.checkSpeechText(payload.Speech, vocalizer, e)
 	vs.checkDegraded(payload.Degraded, e)
 }
 

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"runtime"
 	"sort"
 	"time"
 )
@@ -33,12 +34,15 @@ type ScenarioReport struct {
 type Report struct {
 	Bench string `json:"bench"`
 	// Mode is "in-process" or "live".
-	Mode      string           `json:"mode"`
-	WallMS    float64          `json:"wallMs"`
-	Scenarios []ScenarioReport `json:"scenarios"`
-	Pass      int              `json:"pass"`
-	Fail      int              `json:"fail"`
-	Skip      int              `json:"skip"`
+	Mode string `json:"mode"`
+	// NumCPU and Gomaxprocs pin the machine the latencies were taken on.
+	NumCPU     int              `json:"num_cpu"`
+	Gomaxprocs int              `json:"gomaxprocs"`
+	WallMS     float64          `json:"wallMs"`
+	Scenarios  []ScenarioReport `json:"scenarios"`
+	Pass       int              `json:"pass"`
+	Fail       int              `json:"fail"`
+	Skip       int              `json:"skip"`
 	// Config echoes the runner configuration for trend comparability.
 	Config map[string]any `json:"config,omitempty"`
 	// Faults sums injected-fault counts over all booted servers.
@@ -89,10 +93,12 @@ func SkippedReport(s *Spec) ScenarioReport {
 // NewReport assembles the matrix.
 func NewReport(mode string, wall time.Duration, rows []ScenarioReport) *Report {
 	r := &Report{
-		Bench:     "scenarios",
-		Mode:      mode,
-		WallMS:    float64(wall) / float64(time.Millisecond),
-		Scenarios: rows,
+		Bench:      "scenarios",
+		Mode:       mode,
+		NumCPU:     runtime.NumCPU(),
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		WallMS:     float64(wall) / float64(time.Millisecond),
+		Scenarios:  rows,
 	}
 	for _, row := range r.Scenarios {
 		switch {

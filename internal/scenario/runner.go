@@ -184,6 +184,13 @@ func runSession(ctx context.Context, s *Spec, d *olap.Dataset, prof datasetProfi
 	}
 	for i, step := range s.Script {
 		sr.violations.step = i
+		if step.Reload != nil {
+			// Epoch bumps are a serving-layer concern: the in-process
+			// runner has no cache to invalidate, so a reload is a no-op
+			// and the script keeps speaking against the original data.
+			sr.steps = append(sr.steps, StepResult{Step: i, Session: worker, Input: "(reload)"})
+			continue
+		}
 		input := step.Input
 		if c := step.Corrupt; c != nil {
 			input = nlq.NewCorrupter(nlq.CorruptConfig{

@@ -23,6 +23,7 @@ func TestRegistryCoverage(t *testing.T) {
 	}
 	for _, class := range []string{
 		scenario.AttrNominal, scenario.AttrASR, scenario.AttrMultiTurn, scenario.AttrFault,
+		scenario.AttrCache,
 	} {
 		if classes[class] == 0 {
 			t.Errorf("no scenario in required class %q (have %v)", class, classes)
@@ -74,7 +75,7 @@ func TestScenariosLive(t *testing.T) {
 			if err != nil {
 				t.Fatalf("pool: %v", err)
 			}
-			res, err := scenario.RunLive(context.Background(), client, base, spec, "test")
+			res, err := scenario.RunLive(context.Background(), client, base, spec, "test", pool)
 			if err != nil {
 				t.Fatalf("run live: %v", err)
 			}

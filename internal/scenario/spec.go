@@ -41,6 +41,9 @@ const (
 	AttrOverload = "overload"
 	// AttrUncertainty marks scripts checking the Section 4.4 extension.
 	AttrUncertainty = "uncertainty"
+	// AttrCache marks scripts that probe the semantic answer cache's
+	// serving contract (replays, epoch invalidation, degraded exclusion).
+	AttrCache = "cache"
 	// AttrLiveTuned marks specs whose expectations depend on the live
 	// server profile (timeouts, queue depths, injected faults). The live
 	// runner skips them in -target mode, where it cannot control the
@@ -92,6 +95,13 @@ type LiveSpec struct {
 	// violations — the overload contract is "refuse cleanly", not "never
 	// refuse".
 	AllowShed bool
+	// SemCacheEntries, SemCacheViews and PoolSize tune the server's
+	// semantic answer cache, warmed-view cache and session pools (zero
+	// keeps the server defaults, negative disables — the same contract as
+	// web.Options).
+	SemCacheEntries int
+	SemCacheViews   int
+	PoolSize        int
 }
 
 // CorruptSpec applies seeded ASR noise to a step's input before parsing.
@@ -132,6 +142,10 @@ type Expect struct {
 	Warning bool
 	// Degraded, when non-nil, pins the answer's degraded flag.
 	Degraded *bool
+	// ServedBy, when non-empty, pins the serving path: "this", "prior",
+	// or "cache" for a semantic-cache replay (live runner only — the
+	// in-process runner has no cache and ignores it). Requires Speech.
+	ServedBy string
 }
 
 // Step is one utterance of a scenario script.
@@ -143,6 +157,12 @@ type Step struct {
 	Corrupt *CorruptSpec
 	// Method selects the vocalizer: "this" (default) or "prior".
 	Method string
+	// Reload, when non-nil, replaces the utterance with a serving-side
+	// dataset swap: the live runner regenerates the named dataset from
+	// this spec and reloads it into the server, bumping its cache epoch.
+	// The in-process runner (no cache, no server) treats it as a no-op.
+	// Reload steps carry no Input and no Expect.
+	Reload *DatasetSpec
 	// Expect declares the required outcome.
 	Expect Expect
 }
@@ -196,7 +216,17 @@ func (s *Spec) HasAttr(tag string) bool {
 // profile and must be skipped against external targets.
 func (s *Spec) LiveTuned() bool {
 	return s.HasAttr(AttrLiveTuned) || s.Faults.Enabled() ||
-		s.Live != (LiveSpec{}) || s.StepTimeout != 0
+		s.Live != (LiveSpec{}) || s.StepTimeout != 0 || s.hasReload()
+}
+
+// hasReload reports whether any step swaps a dataset mid-script.
+func (s *Spec) hasReload() bool {
+	for _, st := range s.Script {
+		if st.Reload != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // registry state; Register runs from init and tests read concurrently.
@@ -248,6 +278,34 @@ func (s *Spec) validate() error {
 		}
 		if st.Expect.ParseError && st.Expect.Speech {
 			return fmt.Errorf("step %d: ParseError and Speech are exclusive", i)
+		}
+		switch st.Expect.ServedBy {
+		case "", "this", "prior", "cache":
+		default:
+			return fmt.Errorf("step %d: unknown ServedBy %q", i, st.Expect.ServedBy)
+		}
+		if st.Expect.ServedBy != "" && !st.Expect.Speech {
+			return fmt.Errorf("step %d: ServedBy requires Speech", i)
+		}
+		if st.Reload != nil {
+			if st.Input != "" || st.Corrupt != nil || st.Method != "" || st.Expect != (Expect{}) {
+				return fmt.Errorf("step %d: a Reload step carries no input, method, or expectations", i)
+			}
+			switch st.Reload.Name {
+			case "flights", "salaries":
+			default:
+				return fmt.Errorf("step %d: reload of unknown dataset %q", i, st.Reload.Name)
+			}
+		}
+	}
+	if s.hasReload() {
+		if s.Parallel > 1 {
+			return fmt.Errorf("reload steps require a single session (Parallel <= 1)")
+		}
+		if s.Live == (LiveSpec{}) {
+			// A reload mutates its server for the rest of the run; sharing
+			// the clean default profile would corrupt every later spec.
+			return fmt.Errorf("reload steps require a dedicated live profile (non-zero Live)")
 		}
 	}
 	if s.LiveTuned() && !s.HasAttr(AttrLiveTuned) {

@@ -22,9 +22,9 @@ func init() {
 	// --- nominal: the examples/ workloads as conformance specs ---------
 
 	Register(&Spec{
-		Name:  "nominal/flights-region-season",
-		Desc:  "The paper's flagship query speaks a grammar-valid answer whose refinement tendencies match the exact result (examples/quickstart, examples/flights).",
-		Attrs: []string{AttrNominal},
+		Name:    "nominal/flights-region-season",
+		Desc:    "The paper's flagship query speaks a grammar-valid answer whose refinement tendencies match the exact result (examples/quickstart, examples/flights).",
+		Attrs:   []string{AttrNominal},
 		Dataset: flights5k,
 		Script: []Step{{
 			Input: "how does cancellation depend on region and season",
@@ -36,9 +36,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "nominal/salaries-exploration",
-		Desc:  "Drill-down and roll-up over the college-salary dataset keep every answer in-grammar (examples/exploration).",
-		Attrs: []string{AttrNominal},
+		Name:    "nominal/salaries-exploration",
+		Desc:    "Drill-down and roll-up over the college-salary dataset keep every answer in-grammar (examples/exploration).",
+		Attrs:   []string{AttrNominal},
 		Dataset: salariesStd,
 		Script: []Step{
 			{Input: "drill down", Expect: Expect{Action: "drill down", Speech: true, Tendency: true}},
@@ -48,9 +48,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "nominal/prior-baseline",
-		Desc:  "The prior enumeration baseline answers the flagship query with well-formed sentences (the study's second arm).",
-		Attrs: []string{AttrNominal},
+		Name:    "nominal/prior-baseline",
+		Desc:    "The prior enumeration baseline answers the flagship query with well-formed sentences (the study's second arm).",
+		Attrs:   []string{AttrNominal},
 		Dataset: flights5k,
 		Script: []Step{{
 			Input:  "how does cancellation depend on region and season",
@@ -60,9 +60,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "nominal/navigation-and-help",
-		Desc:  "Navigation commands behave: undo with no history is a clean rejection, help lists the vocabulary, reset restores the initial breakdown.",
-		Attrs: []string{AttrNominal},
+		Name:    "nominal/navigation-and-help",
+		Desc:    "Navigation commands behave: undo with no history is a clean rejection, help lists the vocabulary, reset restores the initial breakdown.",
+		Attrs:   []string{AttrNominal},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "back", Expect: Expect{ParseError: true}},
@@ -75,9 +75,9 @@ func init() {
 	// --- uncertainty: the Section 4.4 confidence extension -------------
 
 	Register(&Spec{
-		Name:  "uncertainty/bounds-sane",
-		Desc:  "Bounds mode speaks at least one confidence interval and every bound sentence is well-formed.",
-		Attrs: []string{AttrUncertainty},
+		Name:    "uncertainty/bounds-sane",
+		Desc:    "Bounds mode speaks at least one confidence interval and every bound sentence is well-formed.",
+		Attrs:   []string{AttrUncertainty},
 		Dataset: flights5k,
 		Planner: PlannerSpec{Uncertainty: core.UncertaintyBounds},
 		Script: []Step{{
@@ -87,9 +87,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "uncertainty/warn-when-starved",
-		Desc:  "Warn mode raises the low-confidence warning when sampling is starved against a strict width threshold.",
-		Attrs: []string{AttrUncertainty},
+		Name:    "uncertainty/warn-when-starved",
+		Desc:    "Warn mode raises the low-confidence warning when sampling is starved against a strict width threshold.",
+		Attrs:   []string{AttrUncertainty},
 		Dataset: flights5k,
 		Planner: PlannerSpec{
 			Uncertainty: core.UncertaintyWarn,
@@ -105,9 +105,9 @@ func init() {
 	// --- asr: speech-recognition noise on the input path ----------------
 
 	Register(&Spec{
-		Name:  "asr/edit-noise-member-recovers",
-		Desc:  "A member mention with phoneme-level typos still resolves through fuzzy matching and vocalizes (Speech-to-SQL's graceful-recovery workload).",
-		Attrs: []string{AttrASR},
+		Name:    "asr/edit-noise-member-recovers",
+		Desc:    "A member mention with phoneme-level typos still resolves through fuzzy matching and vocalizes (Speech-to-SQL's graceful-recovery workload).",
+		Attrs:   []string{AttrASR},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query"}},
@@ -120,9 +120,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "asr/homophone-followup",
-		Desc:  "A homophone-mangled follow-up (\"an four winner\") still narrows the established breakdown to winter.",
-		Attrs: []string{AttrASR},
+		Name:    "asr/homophone-followup",
+		Desc:    "A homophone-mangled follow-up (\"an four winner\") still narrows the established breakdown to winter.",
+		Attrs:   []string{AttrASR},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query"}},
@@ -135,9 +135,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "asr/garbled-rejected",
-		Desc:  "Input beyond fuzzy repair is rejected cleanly (HTTP 422 live), never answered with a made-up query.",
-		Attrs: []string{AttrASR},
+		Name:    "asr/garbled-rejected",
+		Desc:    "Input beyond fuzzy repair is rejected cleanly (HTTP 422 live), never answered with a made-up query.",
+		Attrs:   []string{AttrASR},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "xyzzy plugh qwrt", Expect: Expect{ParseError: true}},
@@ -148,9 +148,9 @@ func init() {
 	// --- multiturn: anaphora over session state -------------------------
 
 	Register(&Spec{
-		Name:  "multiturn/anaphora-winter",
-		Desc:  "\"And for winter?\" keeps the established region-season breakdown and narrows the scope; a second season replaces the first.",
-		Attrs: []string{AttrMultiTurn},
+		Name:    "multiturn/anaphora-winter",
+		Desc:    "\"And for winter?\" keeps the established region-season breakdown and narrows the scope; a second season replaces the first.",
+		Attrs:   []string{AttrMultiTurn},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query", Speech: true, Tendency: true}},
@@ -160,9 +160,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "multiturn/same-but-carrier",
-		Desc:  "\"Same but by carrier\" adds the airline dimension through the spoken-synonym table; \"drop the carrier\" removes it again.",
-		Attrs: []string{AttrMultiTurn},
+		Name:    "multiturn/same-but-carrier",
+		Desc:    "\"Same but by carrier\" adds the airline dimension through the spoken-synonym table; \"drop the carrier\" removes it again.",
+		Attrs:   []string{AttrMultiTurn},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "break down by region", Expect: Expect{Action: "query", Speech: true}},
@@ -172,9 +172,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "multiturn/undo-reset",
-		Desc:  "The undo stack and reset restore earlier exploration states mid-conversation.",
-		Attrs: []string{AttrMultiTurn},
+		Name:    "multiturn/undo-reset",
+		Desc:    "The undo stack and reset restore earlier exploration states mid-conversation.",
+		Attrs:   []string{AttrMultiTurn},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "break down by season", Expect: Expect{Action: "query"}},
@@ -185,9 +185,9 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "multiturn/aggregate-switch",
-		Desc:  "\"How many flights\" switches the aggregate mid-exploration without dropping the breakdown, and the count answer stays in-grammar.",
-		Attrs: []string{AttrMultiTurn},
+		Name:    "multiturn/aggregate-switch",
+		Desc:    "\"How many flights\" switches the aggregate mid-exploration without dropping the breakdown, and the count answer stays in-grammar.",
+		Attrs:   []string{AttrMultiTurn},
 		Dataset: flights5k,
 		Script: []Step{
 			{Input: "break down by region", Expect: Expect{Action: "query", Speech: true}},
@@ -199,11 +199,11 @@ func init() {
 	// --- fault: storage faults on the scan path (live-tuned) -----------
 
 	Register(&Spec{
-		Name:  "fault/failing-scan-valid-speech",
-		Desc:  "A backend that dies mid-stream on every scan still yields a grammar-valid answer — faults degrade, never error.",
-		Attrs: []string{AttrFault, AttrLiveTuned},
+		Name:    "fault/failing-scan-valid-speech",
+		Desc:    "A backend that dies mid-stream on every scan still yields a grammar-valid answer — faults degrade, never error.",
+		Attrs:   []string{AttrFault, AttrLiveTuned},
 		Dataset: flights5k,
-		Faults: faults.InjectorOptions{FailEvery: 1, FailAfter: 128},
+		Faults:  faults.InjectorOptions{FailEvery: 1, FailAfter: 128},
 		Script: []Step{{
 			Input:  "how does cancellation depend on region and season",
 			Expect: Expect{Action: "query", Speech: true},
@@ -211,11 +211,11 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "fault/slow-scan-deadline-degrades",
-		Desc:  "A 1 ms/row scan against a 40 ms deadline must mark the answer degraded while keeping it in-grammar (the breaker's blowout signal).",
-		Attrs: []string{AttrFault, AttrLiveTuned},
-		Dataset: flights5k,
-		Faults: faults.InjectorOptions{SlowEvery: 1, SlowDelay: time.Millisecond},
+		Name:        "fault/slow-scan-deadline-degrades",
+		Desc:        "A 1 ms/row scan against a 40 ms deadline must mark the answer degraded while keeping it in-grammar (the breaker's blowout signal).",
+		Attrs:       []string{AttrFault, AttrLiveTuned},
+		Dataset:     flights5k,
+		Faults:      faults.InjectorOptions{SlowEvery: 1, SlowDelay: time.Millisecond},
 		StepTimeout: 40 * time.Millisecond,
 		Script: []Step{{
 			Input:  "how does cancellation depend on region and season",
@@ -224,24 +224,67 @@ func init() {
 	})
 
 	Register(&Spec{
-		Name:  "fault/stalling-scan-recovers",
-		Desc:  "A scan that hangs and heals (storage hiccup) delays the answer but never wedges or breaks the grammar.",
-		Attrs: []string{AttrFault, AttrLiveTuned},
+		Name:    "fault/stalling-scan-recovers",
+		Desc:    "A scan that hangs and heals (storage hiccup) delays the answer but never wedges or breaks the grammar.",
+		Attrs:   []string{AttrFault, AttrLiveTuned},
 		Dataset: flights5k,
-		Faults: faults.InjectorOptions{StallEvery: 1, StallAfter: 32, StallRelease: 100 * time.Millisecond},
+		Faults:  faults.InjectorOptions{StallEvery: 1, StallAfter: 32, StallRelease: 100 * time.Millisecond},
 		Script: []Step{{
 			Input:  "how does cancellation depend on region and season",
 			Expect: Expect{Action: "query", Speech: true},
 		}},
 	})
 
+	// --- cache: the semantic answer cache's serving contract -------------
+
+	Register(&Spec{
+		Name:    "cache/semantic-hit",
+		Desc:    "An equivalent rephrase of an answered query — dimensions reordered, \"carrier\" for \"airline\" — replays the finished speech from the semantic cache instead of re-running the planner.",
+		Attrs:   []string{AttrCache, AttrLiveTuned},
+		Dataset: flights5k,
+		Live:    LiveSpec{SemCacheEntries: 64, SemCacheViews: 16, PoolSize: 2},
+		Script: []Step{
+			{Input: "how does cancellation depend on region and carrier", Expect: Expect{Action: "query", Speech: true, ServedBy: "this"}},
+			{Input: "how does cancellation depend on airline and region", Expect: Expect{Action: "query", Speech: true, ServedBy: "cache"}},
+			{Input: "how does cancellation depend on carrier and region", Expect: Expect{Action: "query", Speech: true, ServedBy: "cache"}},
+		},
+	})
+
+	Register(&Spec{
+		Name:    "cache/epoch-invalidation",
+		Desc:    "Reloading a dataset bumps its cache epoch: the question that replayed from the cache a step earlier must be recomputed against the new data, never served stale.",
+		Attrs:   []string{AttrCache, AttrLiveTuned},
+		Dataset: flights5k,
+		Live:    LiveSpec{SemCacheEntries: 128, SemCacheViews: 16, PoolSize: 2},
+		Script: []Step{
+			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query", Speech: true, ServedBy: "this"}},
+			{Input: "how does cancellation depend on season and region", Expect: Expect{Action: "query", Speech: true, ServedBy: "cache"}},
+			{Reload: &DatasetSpec{Name: "flights", Rows: 4000, Seed: 99}},
+			{Input: "how does cancellation depend on season and region", Expect: Expect{Action: "query", Speech: true, ServedBy: "this"}},
+		},
+	})
+
+	Register(&Spec{
+		Name:        "cache/degraded-never-cached",
+		Desc:        "Deadline-degraded answers are never stored: equivalent rephrases after a degraded answer run the vocalizer again (and degrade again) instead of replaying the cut speech.",
+		Attrs:       []string{AttrCache, AttrLiveTuned},
+		Dataset:     flights5k,
+		Faults:      faults.InjectorOptions{SlowEvery: 1, SlowDelay: time.Millisecond},
+		StepTimeout: 40 * time.Millisecond,
+		Script: []Step{
+			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query", Speech: true, Degraded: pbool(true), ServedBy: "this"}},
+			{Input: "how does cancellation depend on season and region", Expect: Expect{Action: "query", Speech: true, Degraded: pbool(true), ServedBy: "this"}},
+			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query", Speech: true, Degraded: pbool(true), ServedBy: "this"}},
+		},
+	})
+
 	// --- overload: concurrent sessions against tight admission ----------
 
 	Register(&Spec{
-		Name:  "overload/parallel-sessions-shed-clean",
-		Desc:  "Eight concurrent sessions against two vocalization slots: answers stay in-grammar, refusals are clean 429/503 with Retry-After, and nothing 500s (in-process, the same script races the planner under -race).",
-		Attrs: []string{AttrOverload, AttrLiveTuned},
-		Dataset: flights5k,
+		Name:     "overload/parallel-sessions-shed-clean",
+		Desc:     "Eight concurrent sessions against two vocalization slots: answers stay in-grammar, refusals are clean 429/503 with Retry-After, and nothing 500s (in-process, the same script races the planner under -race).",
+		Attrs:    []string{AttrOverload, AttrLiveTuned},
+		Dataset:  flights5k,
 		Parallel: 8,
 		Live:     LiveSpec{MaxConcurrent: 2, QueueDepth: 2, AllowShed: true},
 		Script: []Step{

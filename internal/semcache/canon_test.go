@@ -1,0 +1,233 @@
+package semcache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dimension"
+	"repro/internal/olap"
+)
+
+// testHierarchies builds a small schema with different depths so level
+// handling is exercised: airport(region,state,city), date(season,month),
+// airline(airline).
+func testHierarchies() (airport, date, airline *dimension.Hierarchy) {
+	airport = dimension.MustNewHierarchy("start airport", "ap", "airports", "all airports",
+		[]string{"region", "state", "city"})
+	airport.MustAddPath("West", "California", "San Francisco")
+	airport.MustAddPath("West", "Washington", "Seattle")
+	airport.MustAddPath("East", "New York", "New York City")
+	date = dimension.MustNewHierarchy("flight date", "dt", "dates", "the whole year",
+		[]string{"season", "month"})
+	date.MustAddPath("Winter", "January")
+	date.MustAddPath("Summer", "July")
+	airline = dimension.MustNewHierarchy("airline", "al", "airlines", "all airlines",
+		[]string{"airline"})
+	airline.MustAddPath("Oceanic")
+	airline.MustAddPath("Ajira")
+	return airport, date, airline
+}
+
+// signature is an implementation-independent canonical description of a
+// query, built with nothing but sorted strings: the ground truth the Key
+// must be a bijection of.
+func signature(q olap.Query) string {
+	var groups, filters []string
+	for _, g := range q.GroupBy {
+		groups = append(groups, fmt.Sprintf("%s@%d", strings.ToLower(g.Hierarchy.Name), g.Level))
+	}
+	sort.Strings(groups)
+	for _, f := range q.Filters {
+		var path []string
+		for l := 1; l <= f.Level; l++ {
+			path = append(path, f.AncestorAt(l).Name)
+		}
+		filters = append(filters, strings.ToLower(f.Hierarchy().Name)+"="+strings.Join(path, "/"))
+	}
+	sort.Strings(filters)
+	col := q.Col
+	if q.Fct == olap.Count {
+		col = ""
+	}
+	return fmt.Sprintf("%v|%s|%s|%v|%v", q.Fct, col, q.ColDescription, groups, filters)
+}
+
+// permutations returns every ordering of idxs (n <= 3 here, so at most 6).
+func permutations(n int) [][]int {
+	if n == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	for _, rest := range permutations(n - 1) {
+		for pos := 0; pos <= len(rest); pos++ {
+			p := append([]int{}, rest[:pos]...)
+			p = append(p, n-1)
+			p = append(p, rest[pos:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// corpus generates every query over the test schema: all aggregate
+// functions, all non-empty scope subsets with all level choices, and all
+// per-hierarchy filter choices (none or one of two members).
+func corpus(t *testing.T) []olap.Query {
+	t.Helper()
+	airport, date, airline := testHierarchies()
+	hs := []*dimension.Hierarchy{airport, date, airline}
+	filterChoices := [][]*dimension.Member{
+		{nil, airport.FindMember("West"), airport.FindMember("San Francisco")},
+		{nil, date.FindMember("Winter"), date.FindMember("July")},
+		{nil, airline.FindMember("Oceanic")},
+	}
+	var queries []olap.Query
+	for _, fct := range []olap.AggFunc{olap.Count, olap.Sum, olap.Avg} {
+		for mask := 1; mask < 1<<len(hs); mask++ {
+			var scoped []*dimension.Hierarchy
+			for i, h := range hs {
+				if mask&(1<<i) != 0 {
+					scoped = append(scoped, h)
+				}
+			}
+			// Enumerate level assignments for the scoped hierarchies.
+			levels := make([]int, len(scoped))
+			for i := range levels {
+				levels[i] = 1
+			}
+			for {
+				var gb []olap.GroupBy
+				for i, h := range scoped {
+					gb = append(gb, olap.GroupBy{Hierarchy: h, Level: levels[i]})
+				}
+				for fmask := 0; fmask < 27; fmask++ {
+					var filters []*dimension.Member
+					fm := fmask
+					for i := 0; i < 3; i++ {
+						choice := fm % 3
+						fm /= 3
+						if choice < len(filterChoices[i]) && filterChoices[i][choice] != nil {
+							filters = append(filters, filterChoices[i][choice])
+						}
+					}
+					queries = append(queries, olap.Query{
+						Fct: fct, Col: "cancelled", ColDescription: "average cancellation probability",
+						GroupBy: gb, Filters: filters,
+					})
+				}
+				// Advance the level counter, odometer style.
+				i := 0
+				for ; i < len(scoped); i++ {
+					if levels[i] < scoped[i].Depth() {
+						levels[i]++
+						break
+					}
+					levels[i] = 1
+				}
+				if i == len(scoped) {
+					break
+				}
+			}
+		}
+	}
+	return queries
+}
+
+// TestKeyCanonicalEquality is the proof-style corpus test: every ordering
+// of a query's scopes and filters produces the byte-identical key, and two
+// queries with different canonical signatures never share a key.
+func TestKeyCanonicalEquality(t *testing.T) {
+	queries := corpus(t)
+	if len(queries) < 1000 {
+		t.Fatalf("corpus too small to prove anything: %d queries", len(queries))
+	}
+	keyBySig := make(map[string]string)
+	sigByKey := make(map[string]string)
+	for _, q := range queries {
+		sig := signature(q)
+		base := Key(q)
+		// Equality direction: every permutation of GroupBy and Filters is
+		// canonically equal and must produce the identical byte string.
+		for _, perm := range permutations(len(q.GroupBy)) {
+			for _, fperm := range permutations(len(q.Filters)) {
+				pq := q
+				pq.GroupBy = make([]olap.GroupBy, len(q.GroupBy))
+				for i, j := range perm {
+					pq.GroupBy[i] = q.GroupBy[j]
+				}
+				pq.Filters = make([]*dimension.Member, len(q.Filters))
+				for i, j := range fperm {
+					pq.Filters[i] = q.Filters[j]
+				}
+				if got := Key(pq); got != base {
+					t.Fatalf("permuted key differs:\n  base %q\n  perm %q\n  sig  %s", base, got, sig)
+				}
+			}
+		}
+		// Collision direction: one key per signature, one signature per key.
+		if prev, ok := keyBySig[sig]; ok && prev != base {
+			t.Fatalf("signature %s mapped to two keys:\n  %q\n  %q", sig, prev, base)
+		}
+		keyBySig[sig] = base
+		if prevSig, ok := sigByKey[base]; ok && prevSig != sig {
+			t.Fatalf("key collision between distinct queries:\n  key %q\n  sig1 %s\n  sig2 %s", base, prevSig, sig)
+		}
+		sigByKey[base] = sig
+	}
+	t.Logf("corpus: %d queries, %d distinct canonical forms, zero collisions", len(queries), len(sigByKey))
+}
+
+// TestKeySynonymNormalization pins the shared-vocabulary property: a
+// hierarchy named by a spoken alias ("carrier") keys identically to one
+// named canonically ("airline"), because both go through nlq.CanonicalName.
+func TestKeySynonymNormalization(t *testing.T) {
+	build := func(name string) *dimension.Hierarchy {
+		h := dimension.MustNewHierarchy(name, "al", "airlines", "all airlines", []string{name})
+		h.MustAddPath("Oceanic")
+		return h
+	}
+	carrier, airline := build("carrier"), build("airline")
+	mk := func(h *dimension.Hierarchy) olap.Query {
+		return olap.Query{
+			Fct: olap.Avg, Col: "cancelled", ColDescription: "average cancellation probability",
+			GroupBy: []olap.GroupBy{{Hierarchy: h, Level: 1}},
+		}
+	}
+	if Key(mk(carrier)) != Key(mk(airline)) {
+		t.Errorf("synonym hierarchies key differently:\n  %q\n  %q", Key(mk(carrier)), Key(mk(airline)))
+	}
+}
+
+// TestNormalizeSortsWithoutMutating pins Normalize's contract: sorted by
+// canonical hierarchy name, original untouched.
+func TestNormalizeSortsWithoutMutating(t *testing.T) {
+	airport, date, airline := testHierarchies()
+	q := olap.Query{
+		Fct: olap.Avg, Col: "c", ColDescription: "d",
+		GroupBy: []olap.GroupBy{
+			{Hierarchy: date, Level: 2},
+			{Hierarchy: airport, Level: 1},
+			{Hierarchy: airline, Level: 1},
+		},
+		Filters: []*dimension.Member{date.FindMember("Winter"), airport.FindMember("West")},
+	}
+	orig0 := q.GroupBy[0]
+	n := Normalize(q)
+	want := []string{"airline", "flight date", "start airport"}
+	for i, g := range n.GroupBy {
+		if g.Hierarchy.Name != want[i] {
+			t.Errorf("GroupBy[%d] = %q, want %q", i, g.Hierarchy.Name, want[i])
+		}
+	}
+	if n.Filters[0].Hierarchy() != date || n.Filters[1].Hierarchy() != airport {
+		t.Errorf("filters not sorted by canonical hierarchy name")
+	}
+	if q.GroupBy[0] != orig0 {
+		t.Error("Normalize mutated its input")
+	}
+	if Key(q) != Key(n) {
+		t.Error("normalized query keys differently from the original")
+	}
+}

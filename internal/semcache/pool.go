@@ -1,0 +1,114 @@
+package semcache
+
+import "sync"
+
+// PoolStats snapshots a pool's counters.
+type PoolStats struct {
+	// Warm counts checkouts served from the prewarmed free list; Cold
+	// checkouts that had to build from the factory because the list was
+	// momentarily empty.
+	Warm int64 `json:"warm"`
+	Cold int64 `json:"cold"`
+	// Restocked counts values returned or refilled into the free list;
+	// Discarded values dropped because the list was full.
+	Restocked int64 `json:"restocked"`
+	Discarded int64 `json:"discarded"`
+	// Free is the current free-list length.
+	Free int `json:"free"`
+}
+
+// Pool is a fixed-size free list of prewarmed values in the poolcache
+// shape: Get pops a ready value (building from the factory only when the
+// list is empty), Put restocks up to the size bound. The web layer keeps
+// one pool of pristine cloned nlq sessions per dataset so a brand-new
+// voice session skips construction cost, and restocks a fresh clone after
+// every checkout.
+type Pool[T any] struct {
+	mu      sync.Mutex
+	size    int
+	free    []T
+	factory func() (T, error)
+	stats   PoolStats
+}
+
+// NewPool returns a pool bounded at size values (minimum 1), filled
+// eagerly from factory. A factory error aborts the prewarm and is
+// returned; the pool is still usable and will retry lazily on Get.
+func NewPool[T any](size int, factory func() (T, error)) (*Pool[T], error) {
+	if size < 1 {
+		size = 1
+	}
+	p := &Pool[T]{size: size, factory: factory, free: make([]T, 0, size)}
+	for i := 0; i < size; i++ {
+		v, err := factory()
+		if err != nil {
+			return p, err
+		}
+		p.free = append(p.free, v)
+	}
+	return p, nil
+}
+
+// Get checks a value out: the newest free value when one is ready, a fresh
+// factory build otherwise.
+func (p *Pool[T]) Get() (T, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		var zero T
+		p.free[n-1] = zero
+		p.free = p.free[:n-1]
+		p.stats.Warm++
+		p.mu.Unlock()
+		return v, nil
+	}
+	p.stats.Cold++
+	p.mu.Unlock()
+	return p.factory()
+}
+
+// Put returns a value to the free list, discarding it when full.
+func (p *Pool[T]) Put(v T) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) >= p.size {
+		p.stats.Discarded++
+		return
+	}
+	p.free = append(p.free, v)
+	p.stats.Restocked++
+}
+
+// Restock builds one fresh value from the factory and returns it to the
+// free list if there is room — called off the request path after a
+// checkout so the next Get stays warm. Factory errors are swallowed; the
+// next Get simply goes cold.
+func (p *Pool[T]) Restock() {
+	p.mu.Lock()
+	full := len(p.free) >= p.size
+	p.mu.Unlock()
+	if full {
+		return
+	}
+	v, err := p.factory()
+	if err != nil {
+		return
+	}
+	p.Put(v)
+}
+
+// Len returns the current free-list length.
+func (p *Pool[T]) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Stats snapshots the counters.
+func (p *Pool[T]) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Free = len(p.free)
+	return st
+}

@@ -1,0 +1,75 @@
+package semcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolPrewarmAndRecycle(t *testing.T) {
+	var builds atomic.Int64
+	p, err := NewPool(3, func() (int, error) {
+		return int(builds.Add(1)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 3 || p.Len() != 3 {
+		t.Fatalf("prewarm built %d, free %d; want 3 and 3", builds.Load(), p.Len())
+	}
+	// Three warm checkouts drain the free list without touching the factory.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Get(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds.Load() != 3 {
+		t.Fatalf("warm checkouts built %d new values", builds.Load()-3)
+	}
+	// The fourth is a cold build.
+	if _, err := p.Get(); err != nil {
+		t.Fatal(err)
+	}
+	if builds.Load() != 4 {
+		t.Fatalf("cold checkout should build exactly one, built %d", builds.Load()-3)
+	}
+	// Restock beyond the bound discards.
+	for i := 0; i < 5; i++ {
+		p.Put(i)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("free = %d after overfill, want 3", p.Len())
+	}
+	st := p.Stats()
+	if st.Warm != 3 || st.Cold != 1 || st.Restocked != 3 || st.Discarded != 2 || st.Free != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestPoolConcurrent exercises Get/Put under contention for -race.
+func TestPoolConcurrent(t *testing.T) {
+	p, err := NewPool(4, func() (int, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v, err := p.Get()
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				p.Put(v)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Warm+st.Cold != 8*500 {
+		t.Errorf("checkouts = %d, want %d", st.Warm+st.Cold, 8*500)
+	}
+}

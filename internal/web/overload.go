@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/semcache"
 )
 
 // statusClientClosedRequest is nginx's 499: the client went away before
@@ -59,6 +60,7 @@ func (s *Server) StartDrain() { s.adm.Drain() }
 // tenantCounters holds one tenant's admission outcomes.
 type tenantCounters struct {
 	served     int64
+	cached     int64
 	queued     int64
 	brownedOut int64
 	fallbacks  int64
@@ -67,11 +69,16 @@ type tenantCounters struct {
 }
 
 // servingCounters aggregates admission outcomes per tenant plus the
-// ladder-step service counts.
+// ladder-step service counts and the semantic-cache serving paths.
 type servingCounters struct {
 	mu           sync.Mutex
 	tenants      map[string]*tenantCounters
 	ladderServed [admission.NumSteps]int64
+	// cacheHits / cacheCoalesced count requests answered from the tier-A
+	// answer cache; cacheWarm requests planned over a tier-B view.
+	cacheHits      int64
+	cacheCoalesced int64
+	cacheWarm      int64
 }
 
 // tenant returns name's counters, folding new tenants into the overflow
@@ -112,6 +119,25 @@ func (c *servingCounters) served(tenant string, waited bool, step admission.Step
 	c.ladderServed[step]++
 }
 
+// cached records a query answered from the semantic answer cache.
+func (c *servingCounters) cached(tenant string, oc semcache.Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tenant(tenant).cached++
+	if oc == semcache.Coalesced {
+		c.cacheCoalesced++
+	} else {
+		c.cacheHits++
+	}
+}
+
+// warmServed records a query planned over a tier-B warmed view.
+func (c *servingCounters) warmServed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cacheWarm++
+}
+
 // shed records a refused query by reason.
 func (c *servingCounters) shed(tenant, reason string) {
 	c.mu.Lock()
@@ -132,6 +158,9 @@ type TenantServingStats struct {
 	// Served counts answered queries; Queued of those waited in the
 	// admission queue first.
 	Served int64 `json:"served"`
+	// Cached counts queries answered from the semantic answer cache
+	// (not included in Served: no vocalizer ran).
+	Cached int64 `json:"cached,omitempty"`
 	Queued int64 `json:"queued,omitempty"`
 	// Shed counts refusals by reason ("rate", "queue-full", "deadline",
 	// "draining", "brownout").
@@ -160,6 +189,12 @@ type ServingStats struct {
 	Breakers map[string]string `json:"breakers"`
 	// Tenants lists per-tenant outcomes sorted by tenant name.
 	Tenants []TenantServingStats `json:"tenants,omitempty"`
+	// SemCache reports the semantic answer cache, warmed-view cache, and
+	// session-pool counters; nil when caching is disabled.
+	SemCache *SemCacheStats `json:"semcache,omitempty"`
+	// VocalizeLatencyMS reports sliding-window wall-latency quantiles for
+	// real vocalizer runs ("p50", "p99"); absent before the first run.
+	VocalizeLatencyMS map[string]float64 `json:"vocalizeLatencyMs,omitempty"`
 }
 
 // servingStats snapshots the overload-resilience state.
@@ -169,6 +204,13 @@ func (s *Server) servingStats() ServingStats {
 		QueueLen: s.adm.QueueLen(),
 		Brownout: s.brown.Snapshot(),
 		Breakers: make(map[string]string, len(s.breakers)),
+		SemCache: s.semCacheStats(),
+	}
+	if p50, p99, _, ok := s.latw.quantiles(); ok {
+		out.VocalizeLatencyMS = map[string]float64{
+			"p50": float64(p50) / float64(time.Millisecond),
+			"p99": float64(p99) / float64(time.Millisecond),
+		}
 	}
 	for name, br := range s.breakers {
 		out.Breakers[name] = br.State().String()
@@ -188,6 +230,7 @@ func (s *Server) servingStats() ServingStats {
 		ts := TenantServingStats{
 			Tenant:     name,
 			Served:     t.served,
+			Cached:     t.cached,
 			Queued:     t.queued,
 			BrownedOut: t.brownedOut,
 			Fallbacks:  t.fallbacks,

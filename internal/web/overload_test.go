@@ -30,7 +30,9 @@ func waitInFlight(t *testing.T, srv *Server) {
 // must not have applied the command, or the client's retry would
 // double-apply it ("drill down" twice deep).
 func TestShedLeavesSessionUntouched(t *testing.T) {
-	srv, ts := newHardenedServer(t, Options{MaxConcurrent: 1})
+	// Semantic caching off: repeated queries must reach admission here
+	// (cache hits are served pre-admission by design).
+	srv, ts := newHardenedServer(t, Options{MaxConcurrent: 1, SemCacheEntries: -1, SemCacheViews: -1})
 	// Establish a session with one applied breakdown.
 	out, code := postQuery(t, ts, map[string]string{
 		"session": "shed", "dataset": "flights",
@@ -174,6 +176,10 @@ func TestBrownoutLadderEngagesUnderSlowTraffic(t *testing.T) {
 		BrownoutTarget: time.Nanosecond,
 		BrownoutWindow: 8,
 		BrownoutHold:   time.Millisecond,
+		// Caching off: the ladder only observes real vocalizer runs, so a
+		// repeated query must not short-circuit to a cache hit here.
+		SemCacheEntries: -1,
+		SemCacheViews:   -1,
 	})
 	sawPriorFallback := false
 	deadline := time.Now().Add(30 * time.Second)
@@ -298,7 +304,9 @@ func TestBreakerTripsToPriorFallback(t *testing.T) {
 // TestTenantRateLimit429 sheds over-rate tenants with 429 while other
 // tenants keep flowing.
 func TestTenantRateLimit429(t *testing.T) {
-	_, ts := newHardenedServer(t, Options{TenantRate: 0.0001, TenantBurst: 1})
+	// Caching off: a cache hit is served before the rate limiter (replays
+	// are nearly free), which would turn the expected 429s into 200s.
+	_, ts := newHardenedServer(t, Options{TenantRate: 0.0001, TenantBurst: 1, SemCacheEntries: -1, SemCacheViews: -1})
 	out, code := postQuery(t, ts, map[string]string{
 		"session": "ratey", "dataset": "flights",
 		"input": "break down by season", "method": "prior",

@@ -32,6 +32,8 @@ import (
 	"repro/internal/encode"
 	"repro/internal/nlq"
 	"repro/internal/olap"
+	"repro/internal/sampling"
+	"repro/internal/semcache"
 	"repro/internal/speech"
 	"repro/internal/voice"
 )
@@ -63,8 +65,14 @@ type QueryLogEntry struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// ServedBy is the vocalizer that actually answered; it differs from
 	// Method when the brownout ladder or a circuit breaker forced the
-	// prior fallback.
+	// prior fallback, and is "cache" for replayed answers.
 	ServedBy string `json:"servedBy,omitempty"`
+	// Origin names the vocalizer that originally produced a cache-served
+	// speech.
+	Origin string `json:"origin,omitempty"`
+	// Cache classifies the semantic-cache path ("hit", "coalesced",
+	// "warm"); empty for cold answers.
+	Cache string `json:"cache,omitempty"`
 }
 
 // Options tunes the server's robustness knobs. The zero value selects the
@@ -124,6 +132,19 @@ type Options struct {
 	MaxSessions int
 	// SessionTTL evicts sessions idle longer than this (default 1h).
 	SessionTTL time.Duration
+	// SemCacheEntries caps the tier-A semantic answer cache: finished
+	// full-quality speeches memoized by (dataset epoch, canonical query)
+	// and replayed bit-identically for equivalent queries (default 1024;
+	// negative disables the semantic cache entirely).
+	SemCacheEntries int
+	// SemCacheViews caps the tier-B cache of warmed sample views, which
+	// let equivalent queries skip scan/sample cost even after their
+	// tier-A entry is evicted (default 64; negative disables tier B).
+	SemCacheViews int
+	// PoolSize is the per-dataset warm session pool: pristine cloned nlq
+	// sessions checked out on first use so no new voice session pays
+	// cold-start (default 4; negative disables pooling).
+	PoolSize int
 	// Logf receives operational messages such as panic stacks (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -151,6 +172,15 @@ func (o Options) normalize() Options {
 	}
 	if o.SessionTTL <= 0 {
 		o.SessionTTL = time.Hour
+	}
+	if o.SemCacheEntries == 0 {
+		o.SemCacheEntries = 1024
+	}
+	if o.SemCacheViews == 0 {
+		o.SemCacheViews = 64
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = 4
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -199,7 +229,7 @@ type sessionEntry struct {
 // Server serves the voice-OLAP API.
 type Server struct {
 	mu       sync.Mutex
-	datasets map[string]DatasetInfo
+	datasets map[string]*datasetState
 	order    []string
 	sessions map[string]*sessionEntry
 	log      queryLog
@@ -214,6 +244,19 @@ type Server struct {
 	breakers map[string]*admission.Breaker
 	// serving counts per-tenant admission outcomes for /api/stats.
 	serving servingCounters
+	// answers is the tier-A semantic cache: finished full-quality
+	// speeches keyed by (dataset epoch, vocalizer, canonical query).
+	// nil disables semantic caching.
+	answers *semcache.Cache[cachedAnswer]
+	// views is the tier-B cache of warmed sample views; nil disables
+	// warm starts.
+	views *semcache.Cache[*sampling.View]
+	// viewJobs feeds the background view builder; quit stops it.
+	viewJobs  chan viewJob
+	quit      chan struct{}
+	closeOnce sync.Once
+	// latw tracks vocalize wall latencies for /metrics quantiles.
+	latw *latencyWindow
 	// now is the server-side bookkeeping clock, stubbed in tests.
 	now func() time.Time
 	// holdVocalize, when non-nil, blocks vocalizations until closed —
@@ -235,13 +278,23 @@ func NewServerWith(cfg core.Config, opts Options, infos ...DatasetInfo) (*Server
 	}
 	opts = opts.normalize()
 	s := &Server{
-		datasets: make(map[string]DatasetInfo, len(infos)),
+		datasets: make(map[string]*datasetState, len(infos)),
 		sessions: make(map[string]*sessionEntry),
 		log:      queryLog{cap: opts.LogCap},
 		cfg:      cfg,
 		opts:     opts,
 		breakers: make(map[string]*admission.Breaker, len(infos)),
+		latw:     newLatencyWindow(512),
 		now:      time.Now,
+	}
+	if opts.SemCacheEntries > 0 {
+		s.answers = semcache.New[cachedAnswer](opts.SemCacheEntries)
+	}
+	if opts.SemCacheViews > 0 {
+		s.views = semcache.New[*sampling.View](opts.SemCacheViews)
+		s.viewJobs = make(chan viewJob, 16)
+		s.quit = make(chan struct{})
+		go s.viewBuilder()
 	}
 	s.adm = admission.NewController(admission.Config{
 		Slots:      opts.MaxConcurrent,
@@ -262,7 +315,11 @@ func NewServerWith(cfg core.Config, opts Options, infos ...DatasetInfo) (*Server
 		if _, dup := s.datasets[info.Name]; dup {
 			return nil, fmt.Errorf("web: duplicate dataset %q", info.Name)
 		}
-		s.datasets[info.Name] = info
+		st, err := newDatasetState(info, opts.PoolSize)
+		if err != nil {
+			return nil, err
+		}
+		s.datasets[info.Name] = st
 		s.order = append(s.order, info.Name)
 		s.breakers[info.Name] = admission.NewBreaker(admission.BreakerConfig{
 			Threshold: opts.BreakerThreshold,
@@ -281,6 +338,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/query", s.handleQuery)
 	mux.HandleFunc("GET /api/log", s.handleLog)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	var h http.Handler = mux
 	h = withTimeout(h, s.opts.RequestTimeout)
 	h = withRecovery(h, s.opts.Logf)
@@ -307,7 +365,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	out := make([]dataset, 0, len(s.order))
 	for _, name := range s.order {
-		info := s.datasets[name]
+		info := s.datasets[name].info
 		out = append(out, dataset{
 			Name:    name,
 			Rows:    info.Dataset.Table().NumRows(),
@@ -347,9 +405,21 @@ type queryResponse struct {
 	SSML string `json:"ssml,omitempty"`
 	// ServedBy names the vocalizer that answered ("this" or "prior");
 	// it differs from the requested method when the brownout ladder or a
-	// breaker forced the prior fallback. Clients validating grammar must
-	// check this field, not the method they asked for.
+	// breaker forced the prior fallback, and is "cache" when the speech
+	// was replayed from the semantic answer cache. Clients validating
+	// grammar must check this field (and Origin for cache-served
+	// answers), not the method they asked for.
 	ServedBy string `json:"servedBy,omitempty"`
+	// Origin names the vocalizer that originally produced a cache-served
+	// speech ("this" or "prior"); grammar conformance follows Origin when
+	// ServedBy is "cache".
+	Origin string `json:"origin,omitempty"`
+	// Cache classifies the semantic-cache path: "hit" for a replayed
+	// answer, "coalesced" when this request shared another request's
+	// in-flight computation of the same canonical query, "warm" when the
+	// planner started from a prebuilt tier-B sample view. Empty for cold
+	// answers.
+	Cache string `json:"cache,omitempty"`
 	// Fallback explains a ServedBy/method mismatch: "brownout" or
 	// "breaker".
 	Fallback string `json:"fallback,omitempty"`
@@ -369,9 +439,10 @@ func methodName(m string) (string, bool) {
 	}
 }
 
-// session returns the live session for key, creating it on first use and
-// evicting expired and least-recently-used sessions. Caller holds s.mu.
-func (s *Server) session(key string, info DatasetInfo) (*nlq.Session, error) {
+// session returns the live session for key, creating it on first use (from
+// the dataset's warm pool) and evicting expired and least-recently-used
+// sessions. Caller holds s.mu.
+func (s *Server) session(key string, st *datasetState) (*nlq.Session, error) {
 	now := s.now()
 	// TTL sweep: drop sessions idle past the deadline.
 	for k, e := range s.sessions {
@@ -383,7 +454,7 @@ func (s *Server) session(key string, info DatasetInfo) (*nlq.Session, error) {
 		e.lastUsed = now
 		return e.sess, nil
 	}
-	sess, err := nlq.NewSession(info.Dataset, olap.Avg, info.MeasureCol, info.MeasureDesc)
+	sess, err := st.newSession()
 	if err != nil {
 		return nil, err
 	}
@@ -427,14 +498,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
-	info, ok := s.datasets[req.Dataset]
+	st, ok := s.datasets[req.Dataset]
 	if !ok {
 		s.mu.Unlock()
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset))
 		return
 	}
 	key := req.Session + "\x00" + req.Dataset
-	sess, err := s.session(key, info)
+	sess, err := s.session(key, st)
 	if err != nil {
 		s.mu.Unlock()
 		s.opts.Logf("web: session init: %v", err)
@@ -467,6 +538,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tenant := tenantOf(r, req.Session)
+	// Semantic fast path: an equivalent query already answered this epoch
+	// replays its speech before admission — even while shedding.
+	if s.tryServeCached(w, req, sess, st, method, tenant) {
+		return
+	}
 	// The ladder's last rung refuses queries before they touch the queue.
 	if s.brown.Step() == admission.StepShed {
 		s.serving.shed(tenant, "brownout")
@@ -509,14 +585,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		q = sess.Query()
 	}
+	epoch := st.epoch
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	out := queryResponse{Action: resp.Action, Message: resp.Message}
 	if !resp.IsQuery {
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, http.StatusOK, queryResponse{Action: resp.Action, Message: resp.Message})
 		return
 	}
 
@@ -530,23 +606,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		step = admission.StepPrior
 	}
 	servedBy, fallback := method, ""
-	br := s.breakers[req.Dataset]
 	if method == "this" {
 		if step >= admission.StepPrior {
 			servedBy, fallback = "prior", "brownout"
-		} else if !br.Allow() {
+		} else if !s.breakers[req.Dataset].Allow() {
 			servedBy, fallback = "prior", "breaker"
 		}
 	}
+	// Every vocalizer runs on the canonical query: key equality then
+	// implies identical planner input, which is what makes replaying a
+	// cached speech sound.
+	nq := semcache.Normalize(q)
 	wallStart := time.Now()
-	voc, err := s.vocalize(r.Context(), info, q, servedBy, step)
-	wall := time.Since(wallStart)
-	s.brown.Observe(wall)
-	if method == "this" && servedBy == "this" && err == nil {
-		// A deadline-degraded answer is the breaker's blowout signal; a
-		// client cancellation is not the dataset's fault.
-		br.Record(voc.degraded && voc.reason == context.DeadlineExceeded.Error())
-	}
+	ans, outcome, err := s.answerQuery(r.Context(), st, req.Dataset, epoch, nq, method, servedBy, step, fallback)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || r.Context().Err() == context.Canceled {
 			s.serving.clientGone(tenant)
@@ -561,12 +633,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, errInternal)
 		return
 	}
-	s.serving.served(tenant, res.Waited > 0, step, fallback)
-	out.Speech = voc.text
-	out.LatencyMS = float64(voc.latency) / float64(time.Millisecond)
-	out.Degraded = voc.degraded
-	out.ServedBy = servedBy
-	out.Fallback = fallback
+	servedAs, origin, cacheTag := servedBy, "", ""
+	latencyMS := float64(ans.voc.latency) / float64(time.Millisecond)
+	switch outcome {
+	case semcache.Hit, semcache.Coalesced:
+		// The stored answer is always clean and full-quality, whatever
+		// ladder step this request happened to arrive at.
+		servedAs, origin, cacheTag = "cache", ans.origin, outcome.String()
+		fallback = ""
+		latencyMS = float64(time.Since(wallStart)) / float64(time.Millisecond)
+		s.serving.cached(tenant, outcome)
+	default:
+		s.serving.served(tenant, res.Waited > 0, step, fallback)
+		if ans.warm {
+			cacheTag = "warm"
+			s.serving.warmServed()
+		}
+	}
+	s.respondSpeech(w, req, method, resp, ans.voc, servedAs, origin, cacheTag, fallback, latencyMS)
+}
+
+// respondSpeech writes the speech response and appends the query-log
+// entry — shared by the cold path and the cache fast path.
+func (s *Server) respondSpeech(w http.ResponseWriter, req queryRequest, method string, resp nlq.Response, voc vocOut, servedBy, origin, cacheTag, fallback string, latencyMS float64) {
+	out := queryResponse{
+		Action:    resp.Action,
+		Message:   resp.Message,
+		Speech:    voc.text,
+		LatencyMS: latencyMS,
+		Degraded:  voc.degraded,
+		ServedBy:  servedBy,
+		Origin:    origin,
+		Cache:     cacheTag,
+		Fallback:  fallback,
+	}
 	if voc.structured != nil {
 		enc := encode.EncodeSpeech(voc.structured)
 		out.Structured = &enc
@@ -580,9 +680,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Input:     req.Input,
 		Method:    method,
 		Speech:    out.Speech,
-		LatencyMS: out.LatencyMS,
+		LatencyMS: latencyMS,
 		Degraded:  voc.degraded,
 		ServedBy:  servedBy,
+		Origin:    origin,
+		Cache:     cacheTag,
 	})
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
@@ -601,8 +703,9 @@ type vocOut struct {
 
 // vocalize runs the chosen vocalizer on the query under ctx. At
 // StepReduced the holistic planner runs with quartered budgets: cheaper
-// and rougher answers, same grammar.
-func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, method string, step admission.Step) (vocOut, error) {
+// and rougher answers, same grammar. A non-nil view warm-starts the
+// holistic planner from the materialized sample instead of scanning.
+func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, method string, step admission.Step, view *sampling.View) (vocOut, error) {
 	if method == "prior" {
 		out, err := baseline.NewPrior(info.Dataset, q, baseline.Config{
 			Format:      info.Format,
@@ -627,6 +730,20 @@ func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, m
 	if step == admission.StepReduced {
 		cfg.MaxRoundsPerSentence = reducedBudget(cfg.MaxRoundsPerSentence, 32)
 		cfg.MaxTreeNodes = reducedBudget(cfg.MaxTreeNodes, 1024)
+	}
+	if view != nil {
+		out, err := core.NewWarm(info.Dataset, view, cfg).VocalizeContext(ctx)
+		if err == nil {
+			return vocOut{
+				text:       out.Text(),
+				structured: out.Speech,
+				latency:    out.Latency,
+				degraded:   out.Degraded,
+				reason:     out.DegradeReason,
+			}, nil
+		}
+		// A view the warm vocalizer rejects (uncertainty mode turned on
+		// since the build, foreign dataset) falls back to the cold path.
 	}
 	out, err := core.NewHolistic(info.Dataset, q, cfg).VocalizeContext(ctx)
 	if err != nil {
