@@ -7,11 +7,12 @@
 //
 // Usage:
 //
-//	loadgen [-workload serving|semcache]
+//	loadgen [-workload serving|semcache|stream]
 //	        [-target http://host:port] [-sessions 64] [-queries 20]
 //	        [-tenants 8] [-dataset flights] [-seed 1] [-out BENCH_serving.json]
 //	        [-assert] [-max-shed-rate 0.9]
 //	        [-requests 400] [-distinct 12] [-zipf-s 1.2]
+//	        [-batches 8] [-batch-rows 64] [-ingest-interval 25ms]
 //
 // The semcache workload measures the semantic answer cache instead of
 // chaos resilience: every request opens a fresh session and asks one of
@@ -21,6 +22,16 @@
 // latency percentiles by serving path — cache hits versus cold vocalizer
 // runs — and computes the hit speedup; with -assert it fails unless the
 // cache actually hit and hits were faster than misses.
+//
+// The stream workload races a streaming ingest feed against concurrent
+// query sessions (semantic cache on): an ingester ships -batches batches
+// of -batch-rows generated rows to /api/ingest while -sessions sessions
+// keep asking repeated and time-windowed questions. The client records the
+// highest acknowledged ingest epoch before every query; the report
+// (BENCH_stream.json) counts answers — cached or fresh — computed below
+// that epoch (stale reads) plus ingest visibility, and with -assert it
+// fails on any stale cache replay, any freshness violation, any
+// grammar-invalid speech, or rows that never became visible.
 //
 // In-process server knobs (ignored with -target):
 //
@@ -86,6 +97,12 @@ type sample struct {
 	fallback  string
 	grammarOK bool
 	speech    string
+	dataEpoch int64
+	stale     bool
+	// wantEpoch is the highest ingest epoch the client had seen
+	// acknowledged when it sent the request (stream workload only): any
+	// answer computed below it proves a stale read.
+	wantEpoch int64
 }
 
 func main() {
@@ -110,6 +127,9 @@ func run() error {
 	requests := flag.Int("requests", 400, "semcache: total requests to issue")
 	distinct := flag.Int("distinct", 12, "semcache: distinct canonical queries in the Zipf universe")
 	zipfS := flag.Float64("zipf-s", 1.2, "semcache: Zipf popularity exponent (>1; larger = more repetition)")
+	batches := flag.Int("batches", 8, "stream: ingest batches to ship")
+	batchRows := flag.Int("batch-rows", 64, "stream: rows per ingest batch")
+	ingestInterval := flag.Duration("ingest-interval", 25*time.Millisecond, "stream: pause between ingest batches")
 
 	flightRows := flag.Int("flight-rows", 5000, "in-process: flight dataset rows")
 	maxConcurrent := flag.Int("max-concurrent", 8, "in-process: vocalization slots")
@@ -139,8 +159,17 @@ func run() error {
 			requestTimeout: *requestTimeout, clientTimeout: *clientTimeout,
 			outPath: *outPath, assert: *assert,
 		})
+	case "stream":
+		return runStream(streamParams{
+			target: *target, dataset: *dataset, seed: *seed,
+			sessions: *sessions, queries: *queries,
+			batches: *batches, batchRows: *batchRows, ingestInterval: *ingestInterval,
+			flightRows: *flightRows, maxConcurrent: *maxConcurrent,
+			requestTimeout: *requestTimeout, clientTimeout: *clientTimeout,
+			outPath: *outPath, assert: *assert,
+		})
 	default:
-		return fmt.Errorf("unknown -workload %q (want serving or semcache)", *workload)
+		return fmt.Errorf("unknown -workload %q (want serving, semcache, or stream)", *workload)
 	}
 
 	base := *target
@@ -316,12 +345,14 @@ func postQuery(client *http.Client, base, session, tenant, dataset, input, metho
 	defer resp.Body.Close()
 	s := sample{code: resp.StatusCode, wall: time.Since(start)}
 	var payload struct {
-		Speech   string `json:"speech"`
-		ServedBy string `json:"servedBy"`
-		Origin   string `json:"origin"`
-		Cache    string `json:"cache"`
-		Degraded bool   `json:"degraded"`
-		Fallback string `json:"fallback"`
+		Speech    string `json:"speech"`
+		ServedBy  string `json:"servedBy"`
+		Origin    string `json:"origin"`
+		Cache     string `json:"cache"`
+		Degraded  bool   `json:"degraded"`
+		Fallback  string `json:"fallback"`
+		DataEpoch int64  `json:"dataEpoch"`
+		Stale     bool   `json:"stale"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		return s
@@ -335,6 +366,8 @@ func postQuery(client *http.Client, base, session, tenant, dataset, input, metho
 		s.fallback = payload.Fallback
 		s.speech = payload.Speech
 		s.grammarOK = validSpeech(payload.Speech, payload.ServedBy, payload.Origin)
+		s.dataEpoch = payload.DataEpoch
+		s.stale = payload.Stale
 	}
 	return s
 }

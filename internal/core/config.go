@@ -205,6 +205,10 @@ type Output struct {
 	// Warning is the low-confidence warning spoken in UncertaintyWarn
 	// mode, empty otherwise.
 	Warning string
+	// TableRows is the committed row count of the data snapshot the
+	// answer was computed over. Streaming clients compare it against
+	// ingest acknowledgements to audit answer freshness.
+	TableRows int64
 	// Degraded reports that the run hit its context deadline or was
 	// cancelled before planning finished: the speech contains only what
 	// was committed in time (at minimum the preamble) and is still

@@ -43,8 +43,10 @@ func runnerUp(tree *mcts.Tree, best *mcts.Node) *mcts.Node {
 	return second
 }
 
-// markDegraded stamps the context's failure reason on the output.
-func markDegraded(out *Output, ctx context.Context) *Output {
+// markDegraded stamps the context's failure reason on the output and
+// records the size of the data snapshot the answer was computed over.
+func markDegraded(out *Output, ctx context.Context, d *olap.Dataset) *Output {
+	out.TableRows = int64(d.Table().NumRows())
 	if err := ctx.Err(); err != nil {
 		out.Degraded = true
 		out.DegradeReason = err.Error()
@@ -87,7 +89,7 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 			Speech:     &speech.Speech{Preamble: preamble},
 			Latency:    latency,
 			Transcript: s.speaker.Transcript(),
-		}, ctx), nil
+		}, ctx, h.dataset), nil
 	}
 
 	// Sample source: synchronous batches interleaved with planning by
@@ -146,7 +148,7 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 			Latency:    latency,
 			RowsRead:   totalRead(rowsRead),
 			Transcript: s.speaker.Transcript(),
-		}, ctx), nil
+		}, ctx, h.dataset), nil
 	}
 
 	// Initialize the search tree for speech output (ST.NEWNODE/ST.EXPAND).
@@ -246,5 +248,5 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 		Transcript:   s.speaker.Transcript(),
 		BoundsSpoken: boundsSpoken,
 		Warning:      warning,
-	}, ctx), nil
+	}, ctx, h.dataset), nil
 }

@@ -55,7 +55,7 @@ func (o *Optimal) VocalizeContext(ctx context.Context) (*Output, error) {
 			Speech:     sp,
 			Latency:    cfg.Clock.Now().Sub(start),
 			Transcript: s.speaker.Transcript(),
-		}, ctx), nil
+		}, ctx, o.dataset), nil
 	}
 
 	// Exact query evaluation: the full scan the holistic approach avoids.
@@ -79,7 +79,7 @@ func (o *Optimal) VocalizeContext(ctx context.Context) (*Output, error) {
 		PlanningTime:   latency,
 		SpeechesScored: scored,
 		Transcript:     s.speaker.Transcript(),
-	}, ctx), nil
+	}, ctx, o.dataset), nil
 }
 
 // searchBest exhaustively enumerates every valid speech (all baselines,

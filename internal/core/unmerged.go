@@ -54,7 +54,7 @@ func (u *Unmerged) VocalizeContext(ctx context.Context) (*Output, error) {
 			Speech:     sp,
 			Latency:    cfg.Clock.Now().Sub(start),
 			Transcript: s.speaker.Transcript(),
-		}, ctx), nil
+		}, ctx, u.dataset), nil
 	}
 
 	rowsRead := int64(s.sampler.ReadRowsContext(ctx, cfg.InitialRows))
@@ -124,5 +124,5 @@ func (u *Unmerged) VocalizeContext(ctx context.Context) (*Output, error) {
 		RowsRead:     rowsRead,
 		TreeSamples:  treeSamples,
 		Transcript:   s.speaker.Transcript(),
-	}, ctx), nil
+	}, ctx, u.dataset), nil
 }

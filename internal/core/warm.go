@@ -73,7 +73,7 @@ func (w *Warm) VocalizeContext(ctx context.Context) (*Output, error) {
 			Speech:     &speech.Speech{Preamble: preamble},
 			Latency:    latency,
 			Transcript: s.speaker.Transcript(),
-		}, ctx), nil
+		}, ctx, w.dataset), nil
 	}
 
 	scale, ok := w.view.GrandEstimate()
@@ -129,7 +129,7 @@ func (w *Warm) VocalizeContext(ctx context.Context) (*Output, error) {
 		PlanningTime: cfg.Clock.Now().Sub(start),
 		TreeSamples:  treeSamples,
 		Transcript:   s.speaker.Transcript(),
-	}, ctx), nil
+	}, ctx, w.dataset), nil
 }
 
 // Compile-time interface check.

@@ -1,0 +1,32 @@
+package datagen
+
+import "math/rand"
+
+// FlightRow is one schema-valid flights fact row in wire form, ready to
+// ship to the web layer's /api/ingest endpoint.
+type FlightRow struct {
+	Airport   string  `json:"airport"`
+	Month     string  `json:"month"`
+	Airline   string  `json:"airline"`
+	Cancelled float64 `json:"cancelled"`
+}
+
+// FlightRows draws n rows from the same statistical model the Flights
+// generator uses, with every dimension value taken from the generator's
+// catalogs — so the rows always pass the streaming append's dictionary
+// check against any Flights-built table. Deterministic in seed.
+func FlightRows(seed int64, n int) []FlightRow {
+	model := newFlightModel()
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]FlightRow, n)
+	for i := range rows {
+		a, m, l, cancelled := model.genRow(rng)
+		rows[i] = FlightRow{
+			Airport:   airportCatalog[a].code,
+			Month:     model.months[m].month,
+			Airline:   airlineCatalog[l].name,
+			Cancelled: cancelled,
+		}
+	}
+	return rows
+}

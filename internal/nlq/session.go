@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/dimension"
 	"repro/internal/olap"
@@ -26,6 +28,9 @@ type Session struct {
 	levels  map[*dimension.Hierarchy]int
 	order   []*dimension.Hierarchy
 	filters map[*dimension.Hierarchy]*dimension.Member
+	// window restricts queries to rows ingested in the trailing stream-time
+	// window ("in the last hour"); zero means the whole table.
+	window time.Duration
 
 	// history holds snapshots for the "back" command, most recent last.
 	history []snapshot
@@ -37,6 +42,7 @@ type snapshot struct {
 	levels  map[*dimension.Hierarchy]int
 	order   []*dimension.Hierarchy
 	filters map[*dimension.Hierarchy]*dimension.Member
+	window  time.Duration
 }
 
 // maxHistory bounds the undo stack.
@@ -49,6 +55,7 @@ func (s *Session) capture() snapshot {
 		levels:  make(map[*dimension.Hierarchy]int, len(s.levels)),
 		order:   append([]*dimension.Hierarchy{}, s.order...),
 		filters: make(map[*dimension.Hierarchy]*dimension.Member, len(s.filters)),
+		window:  s.window,
 	}
 	for h, l := range s.levels {
 		snap.levels[h] = l
@@ -78,6 +85,7 @@ func (s *Session) popHistory() bool {
 	s.levels = snap.levels
 	s.order = snap.order
 	s.filters = snap.filters
+	s.window = snap.window
 	return true
 }
 
@@ -88,6 +96,7 @@ func (s snapshot) clone() snapshot {
 		levels:  make(map[*dimension.Hierarchy]int, len(s.levels)),
 		order:   append([]*dimension.Hierarchy{}, s.order...),
 		filters: make(map[*dimension.Hierarchy]*dimension.Member, len(s.filters)),
+		window:  s.window,
 	}
 	for h, l := range s.levels {
 		c.levels[h] = l
@@ -109,6 +118,7 @@ func (s *Session) Clone() *Session {
 		fct:     s.fct,
 		col:     s.col,
 		colDesc: s.colDesc,
+		window:  s.window,
 		history: make([]snapshot, len(s.history)),
 	}
 	cur := s.capture()
@@ -158,8 +168,14 @@ func (s *Session) Query() olap.Query {
 			q.Filters = append(q.Filters, f)
 		}
 	}
+	if s.window > 0 {
+		q.Window = olap.Window{Last: s.window}
+	}
 	return q
 }
+
+// Window returns the active trailing stream-time window (zero = whole table).
+func (s *Session) Window() time.Duration { return s.window }
 
 // Response reports how an utterance changed the session.
 type Response struct {
@@ -195,6 +211,7 @@ func (s *Session) Parse(input string) (Response, error) {
 		s.levels = map[*dimension.Hierarchy]int{first: 1}
 		s.order = []*dimension.Hierarchy{first}
 		s.filters = make(map[*dimension.Hierarchy]*dimension.Member)
+		s.window = 0
 		return Response{Action: "reset", Message: "Starting over. " + s.Summary(), IsQuery: true}, nil
 	}
 	// Aggregation-function switches: "how many"/"count" -> count,
@@ -205,6 +222,17 @@ func (s *Session) Parse(input string) (Response, error) {
 		s.fct = fct
 		fctChanged = true
 	}
+	// Time-window switches: "in the last hour" scopes the session to the
+	// trailing stream-time window, "all time" widens it back out.
+	windowChanged := false
+	if d, set, clear := matchWindow(text); (set && d != s.window) || (clear && s.window > 0) {
+		if !fctChanged {
+			s.pushHistory()
+		}
+		s.window = d
+		windowChanged = true
+	}
+	statePushed := fctChanged || windowChanged
 
 	switch {
 	case strings.Contains(text, "drill"):
@@ -215,7 +243,7 @@ func (s *Session) Parse(input string) (Response, error) {
 		if h == nil {
 			return Response{}, fmt.Errorf("nlq: no dimension to drill into")
 		}
-		if !fctChanged {
+		if !statePushed {
 			s.pushHistory()
 		}
 		if s.levels[h] == 0 {
@@ -233,7 +261,7 @@ func (s *Session) Parse(input string) (Response, error) {
 		if h == nil || s.levels[h] == 0 {
 			return Response{}, fmt.Errorf("nlq: no dimension to roll up")
 		}
-		if !fctChanged {
+		if !statePushed {
 			s.pushHistory()
 		}
 		if s.levels[h] > 1 {
@@ -248,14 +276,14 @@ func (s *Session) Parse(input string) (Response, error) {
 		if h == nil || s.levels[h] == 0 {
 			return Response{}, fmt.Errorf("nlq: no matching dimension to remove")
 		}
-		if !fctChanged {
+		if !statePushed {
 			s.pushHistory()
 		}
 		s.removeDimension(h)
 		return Response{Action: "remove", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
 
 	case strings.Contains(text, "clear"):
-		if !fctChanged {
+		if !statePushed {
 			s.pushHistory()
 		}
 		s.filters = make(map[*dimension.Hierarchy]*dimension.Member)
@@ -298,12 +326,15 @@ func (s *Session) Parse(input string) (Response, error) {
 		members = s.fuzzyMatchMembers(text)
 	}
 	if len(addDims) == 0 && len(members) == 0 {
+		if windowChanged {
+			return Response{Action: "window", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
+		}
 		if fctChanged {
 			return Response{Action: "function", Message: s.Summary(), IsQuery: s.anyGrouped()}, nil
 		}
 		return Response{}, ErrNotUnderstood
 	}
-	if !fctChanged {
+	if !statePushed {
 		s.pushHistory()
 	}
 	for _, ad := range addDims {
@@ -326,6 +357,64 @@ func matchAggFunc(text string) (olap.AggFunc, bool) {
 		return olap.Avg, true
 	default:
 		return 0, false
+	}
+}
+
+// windowUnits maps spoken time units to durations.
+var windowUnits = map[string]time.Duration{
+	"second": time.Second, "seconds": time.Second,
+	"minute": time.Minute, "minutes": time.Minute,
+	"hour": time.Hour, "hours": time.Hour,
+	"day": 24 * time.Hour, "days": 24 * time.Hour,
+}
+
+// matchWindow detects a trailing time-window phrase: "in the last hour",
+// "past 30 minutes", "last 2 days". It returns set=true with the width, or
+// clear=true for "all time" / "entire history", which widens the scope
+// back to the whole table.
+func matchWindow(text string) (d time.Duration, set, clear bool) {
+	if strings.Contains(text, "all time") || strings.Contains(text, "entire history") ||
+		strings.Contains(text, "whole history") {
+		return 0, false, true
+	}
+	words := splitWords(text)
+	for i, w := range words {
+		if w != "last" && w != "past" {
+			continue
+		}
+		n, j := 1, i+1
+		if j < len(words) {
+			if v, err := strconv.Atoi(words[j]); err == nil {
+				n, j = v, j+1
+			}
+		}
+		if j >= len(words) || n <= 0 {
+			continue
+		}
+		if unit, ok := windowUnits[words[j]]; ok {
+			return time.Duration(n) * unit, true, false
+		}
+	}
+	return 0, false, false
+}
+
+// windowPhrase renders a window width as spoken English.
+func windowPhrase(d time.Duration) string {
+	switch {
+	case d == 24*time.Hour:
+		return "the last day"
+	case d == time.Hour:
+		return "the last hour"
+	case d == time.Minute:
+		return "the last minute"
+	case d >= 24*time.Hour && d%(24*time.Hour) == 0:
+		return fmt.Sprintf("the last %d days", d/(24*time.Hour))
+	case d%time.Hour == 0:
+		return fmt.Sprintf("the last %d hours", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("the last %d minutes", d/time.Minute)
+	default:
+		return fmt.Sprintf("the last %d seconds", d/time.Second)
 	}
 }
 
@@ -479,6 +568,9 @@ func (s *Session) Summary() string {
 	if len(filters) > 0 {
 		msg += " Considering " + strings.Join(filters, " and ") + "."
 	}
+	if s.window > 0 {
+		msg += " Limited to " + windowPhrase(s.window) + "."
+	}
 	return msg
 }
 
@@ -487,6 +579,8 @@ func (s *Session) HelpText() string {
 	var b strings.Builder
 	b.WriteString("You can say: drill down, roll up, remove, clear, back, reset, or help. ")
 	b.WriteString("Say count, total, or average to change the aggregation. ")
+	b.WriteString("Say in the last hour or the last 30 minutes to focus on ")
+	b.WriteString("recently ingested data, and all time to widen back out. ")
 	b.WriteString("You can mention dimension levels to break results down, ")
 	b.WriteString("or member names to filter. Available dimensions: ")
 	var dims []string

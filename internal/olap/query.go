@@ -9,6 +9,7 @@ package olap
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dimension"
 	"repro/internal/table"
@@ -46,6 +47,20 @@ type GroupBy struct {
 	Level     int
 }
 
+// Window restricts a query to a trailing stream-time window: only rows that
+// arrived within Last of the table's newest append are in scope ("delays in
+// the last hour"). The zero Window means no restriction. Window resolution
+// is stream time, not wall time — the table's append marks are the clock
+// (see table.RowsInLast) — so the same query over a frozen snapshot always
+// covers the same rows, and a windowed query over a static table (no append
+// history) covers the whole table.
+type Window struct {
+	Last time.Duration
+}
+
+// IsZero reports whether the window places no restriction.
+func (w Window) IsZero() bool { return w.Last <= 0 }
+
 // Query is an OLAP aggregation query. Filters fix a member per dimension
 // (rows outside the member's subtree are out of scope); GroupBy dimensions
 // break the result down into one aggregate per member combination.
@@ -61,6 +76,9 @@ type Query struct {
 	Filters []*dimension.Member
 	// GroupBy lists breakdown dimensions with their levels.
 	GroupBy []GroupBy
+	// Window optionally restricts the query to a trailing stream-time
+	// window of the table's append history.
+	Window Window
 }
 
 // Validate performs structural checks that do not need a dataset.

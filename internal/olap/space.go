@@ -37,6 +37,13 @@ type Space struct {
 	// for a scope. A sync.Map because the parallel planner resolves scopes
 	// from many sampling workers at once.
 	scopeCache sync.Map
+	// rowLo/rowHi bound the rows in scope when the query carries a
+	// trailing time window; rows outside [rowLo, rowHi) classify as out of
+	// scope in every classification path, so exact evaluation and sampling
+	// both window automatically. windowed gates the bounds checks off the
+	// unwindowed hot path.
+	rowLo, rowHi int
+	windowed     bool
 }
 
 type filterCheck struct {
@@ -119,6 +126,11 @@ func NewSpace(d *Dataset, q Query) (*Space, error) {
 	for d := len(s.members) - 1; d >= 0; d-- {
 		s.strides[d] = s.size
 		s.size *= len(s.members[d])
+	}
+	s.rowLo, s.rowHi = 0, d.tab.NumRows()
+	if !q.Window.IsZero() {
+		s.rowLo = d.tab.RowsInLast(q.Window.Last)
+		s.windowed = s.rowLo > 0
 	}
 	s.compileDense()
 	return s, nil
@@ -204,10 +216,18 @@ func (s *Space) IndexOf(coords []*dimension.Member) int {
 	return idx
 }
 
+// RowBounds returns the half-open row range [lo, hi) the space's query
+// covers: the whole table for unwindowed queries, the trailing-window rows
+// otherwise.
+func (s *Space) RowBounds() (lo, hi int) { return s.rowLo, s.rowHi }
+
 // ClassifyRow maps a table row to its aggregate index, or returns ok=false
 // when the row is outside the query scope. The compiled per-code tables
 // make this a few array loads per dimension.
 func (s *Space) ClassifyRow(row int) (idx int, ok bool) {
+	if s.windowed && (row < s.rowLo || row >= s.rowHi) {
+		return 0, false
+	}
 	for i := range s.denseFilters {
 		f := &s.denseFilters[i]
 		var code int32
@@ -242,8 +262,18 @@ func (s *Space) ClassifyRow(row int) (idx int, ok bool) {
 // that row is outside the query scope. Processing is dimension-major so
 // each per-code table stays hot in cache across the whole batch.
 func (s *Space) ClassifyRows(rows []int, out []int32) {
-	for i := range rows {
-		out[i] = 0
+	if s.windowed {
+		for i, r := range rows {
+			if r < s.rowLo || r >= s.rowHi {
+				out[i] = -1
+			} else {
+				out[i] = 0
+			}
+		}
+	} else {
+		for i := range rows {
+			out[i] = 0
+		}
 	}
 	for fi := range s.denseFilters {
 		f := &s.denseFilters[fi]
@@ -295,8 +325,18 @@ func (s *Space) ClassifyRows(rows []int, out []int32) {
 // the multicore exact scan runs per chunk.
 func (s *Space) ClassifyRange(lo, hi int, out []int32) {
 	n := hi - lo
-	for i := 0; i < n; i++ {
-		out[i] = 0
+	if s.windowed {
+		for i := 0; i < n; i++ {
+			if r := lo + i; r < s.rowLo || r >= s.rowHi {
+				out[i] = -1
+			} else {
+				out[i] = 0
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			out[i] = 0
+		}
 	}
 	for fi := range s.denseFilters {
 		f := &s.denseFilters[fi]

@@ -39,6 +39,12 @@ type Cache struct {
 	grand stats.Accumulator
 	// scratch is the classification buffer reused across InsertBatch calls.
 	scratch []int32
+	// totalRows is the table row count the cache's estimates scale
+	// against, captured when the cache is created (and advanced by
+	// AbsorbAppend). Reading it live from the dataset would silently
+	// rescale every estimate when the underlying table grows mid-plan —
+	// the stale-scale bug the streaming path flushed out.
+	totalRows int64
 	// nonEmpty lists aggregates with at least one cached row, supporting
 	// O(1) uniform random picks.
 	nonEmpty []int
@@ -63,6 +69,7 @@ func NewCache(space *olap.Space) (*Cache, error) {
 		space:        space,
 		values:       make([][]float64, space.Size()),
 		accs:         make([]stats.Accumulator, space.Size()),
+		totalRows:    int64(space.Dataset().Table().NumRows()),
 		ResampleSize: DefaultResampleSize,
 	}
 	q := space.Query()
@@ -79,6 +86,81 @@ func NewCache(space *olap.Space) (*Cache, error) {
 
 // Space returns the aggregate space the cache is classified against.
 func (c *Cache) Space() *olap.Space { return c.space }
+
+// TotalRows returns the table row count the cache's estimates scale
+// against.
+func (c *Cache) TotalRows() int64 { return c.totalRows }
+
+// AbsorbAppend incrementally extends the cache to a newer snapshot of the
+// same streaming table: next must be the same query's space over a
+// snapshot that appended rows past the cache's current row bound. Only the
+// delta rows [TotalRows, next.NumRows) are classified and accumulated —
+// a new batch is a delta, not a rebuild — and they are read exhaustively,
+// so when the base cache also read every row (background sample views,
+// sequential full scans) the absorbed cache is bit-identical to one
+// rebuilt from scratch over the new snapshot. When the base cache only
+// sampled, absorbing introduces a disclosed bias toward the delta (every
+// delta row is read, sampled base rows are not re-weighted); callers who
+// need unbiased estimates under partial reads should rebuild instead.
+func (c *Cache) AbsorbAppend(next *olap.Space) error {
+	oldQ, newQ := c.space.Query(), next.Query()
+	if oldQ.Fct != newQ.Fct || oldQ.Col != newQ.Col {
+		return fmt.Errorf("sampling: absorb of a different query (%v %q vs %v %q)",
+			newQ.Fct, newQ.Col, oldQ.Fct, oldQ.Col)
+	}
+	if next.Size() != c.space.Size() {
+		return fmt.Errorf("sampling: absorb space has %d aggregates, cache has %d", next.Size(), c.space.Size())
+	}
+	if lo, _ := c.space.RowBounds(); lo != 0 {
+		return fmt.Errorf("sampling: cannot absorb into a time-windowed cache")
+	}
+	if lo, _ := next.RowBounds(); lo != 0 {
+		return fmt.Errorf("sampling: cannot absorb a time-windowed space")
+	}
+	newTotal := int64(next.Dataset().Table().NumRows())
+	if newTotal < c.totalRows {
+		return fmt.Errorf("sampling: absorb target has %d rows, cache was built over %d", newTotal, c.totalRows)
+	}
+	var measure *table.Float64Column
+	var measureVals []float64
+	if newQ.Fct != olap.Count {
+		m, err := next.Dataset().Measure(newQ.Col)
+		if err != nil {
+			return fmt.Errorf("sampling: %w", err)
+		}
+		measure, measureVals = m, m.Values()
+	}
+	lo, hi := int(c.totalRows), int(newTotal)
+	if n := hi - lo; n > 0 {
+		if cap(c.scratch) < n {
+			c.scratch = make([]int32, n)
+		}
+		idxs := c.scratch[:n]
+		next.ClassifyRange(lo, hi, idxs)
+		c.nrRead += int64(n)
+		for i, idx := range idxs {
+			if idx < 0 {
+				continue
+			}
+			c.inScope++
+			v := 1.0
+			if measureVals != nil {
+				v = measureVals[lo+i]
+			}
+			if len(c.values[idx]) == 0 {
+				c.nonEmpty = append(c.nonEmpty, int(idx))
+			}
+			c.values[idx] = append(c.values[idx], v)
+			c.accs[idx].Add(v)
+			c.grand.Add(v)
+		}
+	}
+	c.space = next
+	c.measure = measure
+	c.measureVals = measureVals
+	c.totalRows = newTotal
+	return nil
+}
 
 // Insert considers table row for caching. Rows outside the query scope are
 // counted in NrRead but not stored; in-scope rows are appended to their
@@ -203,7 +285,7 @@ func (c *Cache) Estimate(a int, rng *rand.Rand) (float64, bool) {
 		}
 		return c.accs[a].Mean()
 	}
-	nrRows := float64(c.space.Dataset().Table().NumRows())
+	nrRows := float64(c.totalRows)
 	countEst := nrRows * float64(len(c.values[a])) / float64(c.nrRead)
 	switch c.space.Query().Fct {
 	case olap.Count:
@@ -232,7 +314,7 @@ func (c *Cache) GrandEstimate() (float64, bool) {
 	if c.nrRead == 0 {
 		return 0, false
 	}
-	nrRows := float64(c.space.Dataset().Table().NumRows())
+	nrRows := float64(c.totalRows)
 	countEst := nrRows * float64(c.inScope) / float64(c.nrRead)
 	switch c.space.Query().Fct {
 	case olap.Count:
@@ -278,14 +360,14 @@ func (c *Cache) PooledConfidenceInterval(aggs []int, confidence float64) (stats.
 		if c.nrRead == 0 {
 			return stats.Interval{}, false
 		}
-		nrRows := float64(c.space.Dataset().Table().NumRows())
+		nrRows := float64(c.totalRows)
 		p := stats.ProportionConfidenceInterval(acc.Count(), c.nrRead, confidence)
 		return stats.Interval{Lo: p.Lo * nrRows, Hi: p.Hi * nrRows}, true
 	case olap.Sum:
 		if c.nrRead == 0 || acc.Count() == 0 {
 			return stats.Interval{}, false
 		}
-		nrRows := float64(c.space.Dataset().Table().NumRows())
+		nrRows := float64(c.totalRows)
 		mean := stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence)
 		scale := nrRows * float64(acc.Count()) / float64(c.nrRead)
 		return stats.Interval{Lo: mean.Lo * scale, Hi: mean.Hi * scale}, true
@@ -312,14 +394,14 @@ func (c *Cache) ConfidenceInterval(a int, confidence float64) (stats.Interval, b
 		if c.nrRead == 0 {
 			return stats.Interval{}, false
 		}
-		nrRows := float64(c.space.Dataset().Table().NumRows())
+		nrRows := float64(c.totalRows)
 		p := stats.ProportionConfidenceInterval(acc.Count(), c.nrRead, confidence)
 		return stats.Interval{Lo: p.Lo * nrRows, Hi: p.Hi * nrRows}, true
 	case olap.Sum:
 		if c.nrRead == 0 || acc.Count() == 0 {
 			return stats.Interval{}, false
 		}
-		nrRows := float64(c.space.Dataset().Table().NumRows())
+		nrRows := float64(c.totalRows)
 		mean := stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence)
 		scale := nrRows * float64(acc.Count()) / float64(c.nrRead)
 		return stats.Interval{Lo: mean.Lo * scale, Hi: mean.Hi * scale}, true

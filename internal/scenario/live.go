@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/faults"
 	"repro/internal/nlq"
 	"repro/internal/speech"
@@ -153,6 +154,14 @@ type Reloader interface {
 	Reload(s *Spec, ds DatasetSpec) error
 }
 
+// Ingester appends a generated batch to the spec's dataset through the
+// serving side's streaming path. The pool implements it; runners discover
+// it on their Reloader via type assertion, so external targets (which
+// support neither) keep working unchanged.
+type Ingester interface {
+	Ingest(s *Spec, ing IngestSpec) error
+}
+
 // Reload regenerates ds (through the shared dataset cache) and swaps it
 // into the pooled server serving the spec's profile.
 func (p *ServerPool) Reload(s *Spec, ds DatasetSpec) error {
@@ -168,6 +177,40 @@ func (p *ServerPool) Reload(s *Spec, ds DatasetSpec) error {
 		return err
 	}
 	return srv.web.ReloadDataset(ds.Name, d)
+}
+
+// Ingest ships a generated flights batch to the pooled server serving the
+// spec's profile via its streaming ingest endpoint — the same HTTP path a
+// real feed uses, so epoch bumps and cache purges are exercised for real.
+func (p *ServerPool) Ingest(s *Spec, ing IngestSpec) error {
+	key := profileKey{faults: s.Faults, timeout: s.StepTimeout, live: s.Live}
+	p.mu.Lock()
+	srv, ok := p.servers[key]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no pooled server for %q's profile", s.Name)
+	}
+	n := ing.Rows
+	if n <= 0 {
+		n = 50
+	}
+	body, err := json.Marshal(map[string]any{
+		"dataset": s.Dataset.Name,
+		"rows":    datagen.FlightRows(ing.Seed, n),
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(srv.base+"/api/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("ingest status %d: %s", resp.StatusCode, b)
+	}
+	return nil
 }
 
 // InjectorStats sums fault counts over all booted servers.
@@ -201,14 +244,16 @@ func (p *ServerPool) Close() {
 // queryPayload mirrors the server's /api/query response fields the
 // conformance checks read.
 type queryPayload struct {
-	Action   string `json:"action"`
-	Speech   string `json:"speech"`
-	Degraded bool   `json:"degraded"`
-	ServedBy string `json:"servedBy"`
-	Origin   string `json:"origin"`
-	Cache    string `json:"cache"`
-	Fallback string `json:"fallback"`
-	Error    string `json:"error"`
+	Action    string `json:"action"`
+	Speech    string `json:"speech"`
+	Degraded  bool   `json:"degraded"`
+	ServedBy  string `json:"servedBy"`
+	Origin    string `json:"origin"`
+	Cache     string `json:"cache"`
+	Fallback  string `json:"fallback"`
+	DataEpoch int64  `json:"dataEpoch"`
+	Stale     bool   `json:"stale"`
+	Error     string `json:"error"`
 }
 
 // RunLive executes a spec over HTTP against base. The spec's in-process-
@@ -255,6 +300,16 @@ func runLiveSession(ctx context.Context, client *http.Client, base string, s *Sp
 				sr.violations.addf("reload", "scenario swaps a dataset but the runner has no reload control over this server")
 			} else if err := rel.Reload(s, *step.Reload); err != nil {
 				sr.violations.addf("reload", "reload %s: %v", step.Reload.Name, err)
+			}
+			sr.steps = append(sr.steps, rec)
+			continue
+		}
+		if step.Ingest != nil {
+			rec := StepResult{Step: i, Session: worker, Input: "(ingest " + s.Dataset.Name + ")"}
+			if ing, ok := rel.(Ingester); !ok {
+				sr.violations.addf("ingest", "scenario appends rows but the runner has no ingest control over this server")
+			} else if err := ing.Ingest(s, *step.Ingest); err != nil {
+				sr.violations.addf("ingest", "ingest %s: %v", s.Dataset.Name, err)
 			}
 			sr.steps = append(sr.steps, rec)
 			continue
@@ -330,6 +385,14 @@ func (sr *sessionRun) checkLiveStep(s *Spec, step Step, method string, code int,
 
 	if e.ServedBy != "" && payload.ServedBy != e.ServedBy {
 		vs.addf("servedBy", "input %q: served by %q, want %q", rec.Input, payload.ServedBy, e.ServedBy)
+	}
+	// Freshness: the answer must have been computed at (or after) the
+	// epoch the script's earlier Ingest/Reload steps established — a lower
+	// dataEpoch is precisely a stale replay. A truthfully flagged stale
+	// answer (epoch moved mid-answer) is not a replay and stays legal.
+	if e.MinEpoch > 0 && payload.DataEpoch < e.MinEpoch && !payload.Stale {
+		vs.addf("freshness", "input %q: answer computed at data epoch %d, want >= %d",
+			rec.Input, payload.DataEpoch, e.MinEpoch)
 	}
 
 	// Admission-layer contracts: servedBy names a real vocalizer or the

@@ -184,11 +184,16 @@ func runSession(ctx context.Context, s *Spec, d *olap.Dataset, prof datasetProfi
 	}
 	for i, step := range s.Script {
 		sr.violations.step = i
-		if step.Reload != nil {
+		if step.Reload != nil || step.Ingest != nil {
 			// Epoch bumps are a serving-layer concern: the in-process
-			// runner has no cache to invalidate, so a reload is a no-op
-			// and the script keeps speaking against the original data.
-			sr.steps = append(sr.steps, StepResult{Step: i, Session: worker, Input: "(reload)"})
+			// runner has no cache to invalidate, so a reload or ingest is
+			// a no-op and the script keeps speaking against the original
+			// data.
+			input := "(reload)"
+			if step.Ingest != nil {
+				input = "(ingest)"
+			}
+			sr.steps = append(sr.steps, StepResult{Step: i, Session: worker, Input: input})
 			continue
 		}
 		input := step.Input

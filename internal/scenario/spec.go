@@ -44,6 +44,10 @@ const (
 	// AttrCache marks scripts that probe the semantic answer cache's
 	// serving contract (replays, epoch invalidation, degraded exclusion).
 	AttrCache = "cache"
+	// AttrStream marks scripts that append rows mid-conversation and
+	// check the freshness contract (epoch bumps, windowed scopes, zero
+	// stale cache replays).
+	AttrStream = "stream"
 	// AttrLiveTuned marks specs whose expectations depend on the live
 	// server profile (timeouts, queue depths, injected faults). The live
 	// runner skips them in -target mode, where it cannot control the
@@ -104,6 +108,17 @@ type LiveSpec struct {
 	PoolSize        int
 }
 
+// IngestSpec appends generated rows to the scenario's dataset mid-script
+// through the serving side's streaming path, bumping its cache epoch.
+// Rows are drawn from the flights generator's statistical model, so they
+// always pass the streaming append's dictionary check.
+type IngestSpec struct {
+	// Rows is the batch size (zero selects 50).
+	Rows int
+	// Seed drives row generation.
+	Seed int64
+}
+
 // CorruptSpec applies seeded ASR noise to a step's input before parsing.
 type CorruptSpec struct {
 	// Seed fixes the corruption stream.
@@ -146,6 +161,10 @@ type Expect struct {
 	// or "cache" for a semantic-cache replay (live runner only — the
 	// in-process runner has no cache and ignores it). Requires Speech.
 	ServedBy string
+	// MinEpoch, when positive, requires the answer's dataEpoch to be at
+	// least this value — the freshness proof that earlier Ingest steps
+	// are visible (live runner only; requires Speech).
+	MinEpoch int64
 }
 
 // Step is one utterance of a scenario script.
@@ -163,6 +182,12 @@ type Step struct {
 	// The in-process runner (no cache, no server) treats it as a no-op.
 	// Reload steps carry no Input and no Expect.
 	Reload *DatasetSpec
+	// Ingest, when non-nil, replaces the utterance with a serving-side
+	// streaming append: the live runner ships a generated batch to the
+	// server's ingest endpoint, bumping the dataset's cache epoch. The
+	// in-process runner (no cache, no server) treats it as a no-op.
+	// Ingest steps carry no Input and no Expect.
+	Ingest *IngestSpec
 	// Expect declares the required outcome.
 	Expect Expect
 }
@@ -216,13 +241,14 @@ func (s *Spec) HasAttr(tag string) bool {
 // profile and must be skipped against external targets.
 func (s *Spec) LiveTuned() bool {
 	return s.HasAttr(AttrLiveTuned) || s.Faults.Enabled() ||
-		s.Live != (LiveSpec{}) || s.StepTimeout != 0 || s.hasReload()
+		s.Live != (LiveSpec{}) || s.StepTimeout != 0 || s.mutatesServer()
 }
 
-// hasReload reports whether any step swaps a dataset mid-script.
-func (s *Spec) hasReload() bool {
+// mutatesServer reports whether any step swaps or appends to a dataset
+// mid-script — either way the server is dirty for later specs.
+func (s *Spec) mutatesServer() bool {
 	for _, st := range s.Script {
-		if st.Reload != nil {
+		if st.Reload != nil || st.Ingest != nil {
 			return true
 		}
 	}
@@ -287,25 +313,45 @@ func (s *Spec) validate() error {
 		if st.Expect.ServedBy != "" && !st.Expect.Speech {
 			return fmt.Errorf("step %d: ServedBy requires Speech", i)
 		}
-		if st.Reload != nil {
-			if st.Input != "" || st.Corrupt != nil || st.Method != "" || st.Expect != (Expect{}) {
-				return fmt.Errorf("step %d: a Reload step carries no input, method, or expectations", i)
+		if st.Expect.MinEpoch < 0 {
+			return fmt.Errorf("step %d: negative MinEpoch", i)
+		}
+		if st.Expect.MinEpoch > 0 && !st.Expect.Speech {
+			return fmt.Errorf("step %d: MinEpoch requires Speech", i)
+		}
+		if st.Reload != nil && st.Ingest != nil {
+			return fmt.Errorf("step %d: Reload and Ingest are exclusive", i)
+		}
+		if st.Reload != nil || st.Ingest != nil {
+			kind := "Reload"
+			if st.Ingest != nil {
+				kind = "Ingest"
 			}
+			if st.Input != "" || st.Corrupt != nil || st.Method != "" || st.Expect != (Expect{}) {
+				return fmt.Errorf("step %d: an %s step carries no input, method, or expectations", i, kind)
+			}
+		}
+		if st.Reload != nil {
 			switch st.Reload.Name {
 			case "flights", "salaries":
 			default:
 				return fmt.Errorf("step %d: reload of unknown dataset %q", i, st.Reload.Name)
 			}
 		}
+		if st.Ingest != nil && s.Dataset.Name != "flights" {
+			// Generated ingest batches come from the flights row model.
+			return fmt.Errorf("step %d: Ingest is only supported on the flights dataset", i)
+		}
 	}
-	if s.hasReload() {
+	if s.mutatesServer() {
 		if s.Parallel > 1 {
-			return fmt.Errorf("reload steps require a single session (Parallel <= 1)")
+			return fmt.Errorf("reload/ingest steps require a single session (Parallel <= 1)")
 		}
 		if s.Live == (LiveSpec{}) {
-			// A reload mutates its server for the rest of the run; sharing
-			// the clean default profile would corrupt every later spec.
-			return fmt.Errorf("reload steps require a dedicated live profile (non-zero Live)")
+			// A reload or ingest mutates its server for the rest of the
+			// run; sharing the clean default profile would corrupt every
+			// later spec.
+			return fmt.Errorf("reload/ingest steps require a dedicated live profile (non-zero Live)")
 		}
 	}
 	if s.LiveTuned() && !s.HasAttr(AttrLiveTuned) {

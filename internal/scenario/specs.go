@@ -278,6 +278,49 @@ func init() {
 		},
 	})
 
+	// --- stream: appends mid-conversation and the freshness contract ----
+
+	Register(&Spec{
+		Name:    "stream/windowed-last-hour",
+		Desc:    "Time-windowed phrasings parse, vocalize in-grammar, and widen back out with \"all time\" — the query scope layer for freshly ingested rows.",
+		Attrs:   []string{AttrStream},
+		Dataset: flights5k,
+		Script: []Step{
+			{Input: "how does cancellation depend on region in the last hour", Expect: Expect{Action: "query", Speech: true}},
+			{Input: "in the last 30 minutes", Expect: Expect{Action: "window", Speech: true}},
+			{Input: "all time", Expect: Expect{Action: "window", Speech: true}},
+		},
+	})
+
+	Register(&Spec{
+		Name:    "stream/ingest-invalidates-cache",
+		Desc:    "A streaming append between two identical questions makes the cached answer unreachable: the post-ingest ask recomputes at the bumped epoch (never replays stale), and the recomputed answer caches again at the new epoch.",
+		Attrs:   []string{AttrStream, AttrLiveTuned},
+		Dataset: flights5k,
+		Live:    LiveSpec{SemCacheEntries: 64, SemCacheViews: 16, PoolSize: 2},
+		Script: []Step{
+			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query", Speech: true, ServedBy: "this"}},
+			{Input: "how does cancellation depend on season and region", Expect: Expect{Action: "query", Speech: true, ServedBy: "cache"}},
+			{Ingest: &IngestSpec{Rows: 50, Seed: 77}},
+			{Input: "how does cancellation depend on season and region", Expect: Expect{Action: "query", Speech: true, ServedBy: "this", MinEpoch: 1}},
+			{Input: "how does cancellation depend on region and season", Expect: Expect{Action: "query", Speech: true, ServedBy: "cache", MinEpoch: 1}},
+		},
+	})
+
+	Register(&Spec{
+		Name:    "stream/ingest-under-faults",
+		Desc:    "Appends keep landing while a stalling backend delays every scan: the post-ingest answer is computed at the new epoch and stays in-grammar — streaming degrades with the storage, never errors.",
+		Attrs:   []string{AttrStream, AttrFault, AttrLiveTuned},
+		Dataset: flights5k,
+		Faults:  faults.InjectorOptions{StallEvery: 1, StallAfter: 32, StallRelease: 100 * time.Millisecond},
+		Live:    LiveSpec{SemCacheEntries: 64, SemCacheViews: 16, PoolSize: 2},
+		Script: []Step{
+			{Input: "how does cancellation depend on region", Expect: Expect{Action: "query", Speech: true}},
+			{Ingest: &IngestSpec{Rows: 40, Seed: 41}},
+			{Input: "break down by season", Expect: Expect{Action: "query", Speech: true, MinEpoch: 1}},
+		},
+	})
+
 	// --- overload: concurrent sessions against tight admission ----------
 
 	Register(&Spec{

@@ -18,6 +18,11 @@ const (
 	// Coalesced means the call waited on another caller's in-flight
 	// computation of the same key and shares its stored result.
 	Coalesced
+	// Aborted means the caller's context expired while waiting on another
+	// caller's in-flight computation: the call neither computed nor was
+	// served. Counting these separately keeps hit-rate math honest — an
+	// aborted waiter is not a miss, it never got an answer at all.
+	Aborted
 )
 
 // String names the outcome for logs and response fields.
@@ -27,6 +32,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case Coalesced:
 		return "coalesced"
+	case Aborted:
+		return "aborted"
 	default:
 		return "miss"
 	}
@@ -39,6 +46,9 @@ type Stats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
+	// Aborted counts waiters whose context expired before the in-flight
+	// computation they were coalesced onto finished.
+	Aborted int64 `json:"aborted"`
 	// Stores counts accepted Put/Do stores; Rejected computations whose
 	// result was not cacheable (degraded, fallback, reduced quality);
 	// Evictions LRU drops; Purged epoch-invalidation drops.
@@ -167,7 +177,10 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, bool, 
 			select {
 			case <-f.done:
 			case <-ctx.Done():
-				return zero, Miss, ctx.Err()
+				c.mu.Lock()
+				c.stats.Aborted++
+				c.mu.Unlock()
+				return zero, Aborted, ctx.Err()
 			}
 			if f.stored {
 				c.mu.Lock()
@@ -197,20 +210,55 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func() (V, bool, 
 	}
 }
 
+// purgeChunk bounds how many deletions PurgePrefix performs per mutex
+// hold, so concurrent Do hits never stall behind a full-map purge.
+const purgeChunk = 256
+
 // PurgePrefix drops every entry whose key starts with prefix and returns
 // the count — epoch invalidation removes one dataset's whole keyspace.
+//
+// The mutex is never held across the full map: keys are snapshotted under
+// one brief hold (string headers only, no prefix matching inside the
+// lock), matched outside it, and deleted in bounded chunks that re-check
+// each key still resides in the cache. Entries stored concurrently with
+// the purge may survive it, exactly as entries stored just after a
+// monolithic purge would — callers invalidating an epoch already make
+// stale keys unreachable by construction (the epoch is part of the key).
 func (c *Cache[V]) PurgePrefix(prefix string) int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for key, e := range c.entries {
+	keys := make([]string, 0, len(c.entries))
+	for key := range c.entries {
+		keys = append(keys, key)
+	}
+	c.mu.Unlock()
+
+	matched := keys[:0]
+	for _, key := range keys {
 		if strings.HasPrefix(key, prefix) {
-			c.lru.Remove(e.elt)
-			delete(c.entries, key)
-			n++
+			matched = append(matched, key)
 		}
 	}
-	c.stats.Purged += int64(n)
+
+	n := 0
+	for len(matched) > 0 {
+		chunk := matched
+		if len(chunk) > purgeChunk {
+			chunk = chunk[:purgeChunk]
+		}
+		matched = matched[len(chunk):]
+		c.mu.Lock()
+		deleted := 0
+		for _, key := range chunk {
+			if e, ok := c.entries[key]; ok {
+				c.lru.Remove(e.elt)
+				delete(c.entries, key)
+				deleted++
+			}
+		}
+		c.stats.Purged += int64(deleted)
+		c.mu.Unlock()
+		n += deleted
+	}
 	return n
 }
 

@@ -1,0 +1,142 @@
+package semcache
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/olap"
+)
+
+// TestDoAbortedWaiterCounted is the regression test for the waiter-
+// cancellation accounting bug: a waiter whose context expires while
+// coalesced onto another caller's flight used to return Outcome Miss with
+// no counter bumped, silently skewing hit-rate math. It must now report
+// Aborted and increment the Aborted stat.
+func TestDoAbortedWaiterCounted(t *testing.T) {
+	c := New[int](8)
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, outcome, err := c.Do(context.Background(), "k", func() (int, bool, error) {
+			close(leaderIn)
+			<-leaderGo
+			return 42, true, nil
+		})
+		if err != nil || outcome != Miss {
+			t.Errorf("leader: outcome=%v err=%v", outcome, err)
+		}
+	}()
+	<-leaderIn // the leader's flight is registered and computing
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, outcome, err := c.Do(ctx, "k", func() (int, bool, error) {
+		t.Error("aborted waiter ran compute")
+		return 0, false, nil
+	})
+	if outcome != Aborted {
+		t.Fatalf("waiter outcome = %v, want Aborted", outcome)
+	}
+	if err != context.Canceled {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	if outcome.String() != "aborted" {
+		t.Fatalf("Aborted.String() = %q", outcome.String())
+	}
+
+	close(leaderGo)
+	wg.Wait()
+	st := c.Stats()
+	if st.Aborted != 1 {
+		t.Fatalf("stats.Aborted = %d, want 1", st.Aborted)
+	}
+	// The abort is not a miss: exactly one miss (the leader's compute).
+	if st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v, want 1 miss / 1 store", st)
+	}
+}
+
+func TestPurgePrefixChunked(t *testing.T) {
+	c := New[int](4 * purgeChunk)
+	keep := 0
+	for i := 0; i < 2*purgeChunk+7; i++ {
+		c.Put(fmt.Sprintf("gone\x00%d", i), i)
+	}
+	for i := 0; i < purgeChunk; i++ {
+		c.Put(fmt.Sprintf("kept\x00%d", i), i)
+		keep++
+	}
+	if n := c.PurgePrefix("gone\x00"); n != 2*purgeChunk+7 {
+		t.Fatalf("purged %d, want %d", n, 2*purgeChunk+7)
+	}
+	if c.Len() != keep {
+		t.Fatalf("%d entries survive, want %d", c.Len(), keep)
+	}
+	if got := c.Stats().Purged; got != int64(2*purgeChunk+7) {
+		t.Fatalf("stats.Purged = %d", got)
+	}
+	if _, ok := c.Get("kept\x005"); !ok {
+		t.Fatal("unrelated prefix was purged")
+	}
+}
+
+func TestKeyWindowField(t *testing.T) {
+	q := olap.Query{Fct: olap.Avg, Col: "cancelled", ColDescription: "d"}
+	plain := Key(q)
+	if strings.Contains(plain, "\x1fw=") {
+		t.Fatalf("unwindowed key carries a window field: %q", plain)
+	}
+	q.Window.Last = time.Hour
+	hour := Key(q)
+	if hour == plain {
+		t.Fatal("windowed and unwindowed queries share a key")
+	}
+	if !strings.Contains(hour, "\x1fw=1h0m0s") {
+		t.Fatalf("windowed key = %q", hour)
+	}
+	q.Window.Last = 30 * time.Minute
+	if Key(q) == hour {
+		t.Fatal("distinct window widths share a key")
+	}
+}
+
+// BenchmarkHitUnderPurge guards the hit-latency tail while a large purge
+// churns: the purge snapshots keys and deletes in bounded chunks, so a
+// concurrent hit must never wait behind a full-map scan.
+func BenchmarkHitUnderPurge(b *testing.B) {
+	c := New[int](1 << 16)
+	c.Put("hot", 1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for j := 0; j < 8*purgeChunk; j++ {
+				c.Put(fmt.Sprintf("purge\x00%d\x00%d", i, j), j)
+			}
+			c.PurgePrefix("purge\x00")
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get("hot"); !ok {
+			b.Fatal("hot key lost")
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,9 @@
+package speech
+
+// StaleNote is the spoken freshness caveat attached to an answer when new
+// rows were ingested after its data snapshot was taken. It rides beside
+// the grammar speech (like an uncertainty warning) rather than inside it,
+// so replayed and degraded answers stay grammar-valid verbatim; sharing
+// the exact sentence between the server and its checkers keeps conformance
+// tests byte-stable.
+const StaleNote = "Newer data has arrived since this answer was computed; ask again to include it."

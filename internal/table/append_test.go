@@ -1,0 +1,277 @@
+package table
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// streamBase builds a small frozen fact table for append tests.
+func streamBase(t *testing.T) *Table {
+	t.Helper()
+	dims, err := NewStringColumnFromCodes("dim", []string{"a", "b", "c"}, []int32{0, 1, 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := New("facts", dims, NewFloat64ColumnFromValues("m", []float64{1, 2, 3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func streamTime(s int) time.Time {
+	return time.Date(2026, 1, 1, 0, 0, s, 0, time.UTC)
+}
+
+func TestAppendBatchSnapshotIsolation(t *testing.T) {
+	base := streamBase(t)
+	live, err := base.AppendableCopy(streamTime(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !live.Live() || base.Live() {
+		t.Fatalf("live flags: copy=%v base=%v", live.Live(), base.Live())
+	}
+	old := live.Snapshot()
+	if old.NumRows() != 4 || old.Epoch() != 0 {
+		t.Fatalf("pre-append snapshot: rows=%d epoch=%d", old.NumRows(), old.Epoch())
+	}
+
+	mark, err := live.AppendBatch(NewRowBatch().
+		Strings("dim", "b", "c").
+		Float64s("m", 10, 20), streamTime(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mark.Epoch != 1 || mark.Start != 4 || mark.End != 6 {
+		t.Fatalf("mark = %+v", mark)
+	}
+	if live.NumRows() != 6 || live.Epoch() != 1 {
+		t.Fatalf("live: rows=%d epoch=%d", live.NumRows(), live.Epoch())
+	}
+	// The pre-append snapshot must be unaffected.
+	if old.NumRows() != 4 {
+		t.Fatalf("old snapshot grew to %d rows", old.NumRows())
+	}
+	fresh := live.Snapshot()
+	if fresh.NumRows() != 6 || fresh.Epoch() != 1 {
+		t.Fatalf("fresh snapshot: rows=%d epoch=%d", fresh.NumRows(), fresh.Epoch())
+	}
+	sc, err := fresh.StringColumn("dim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.StringAt(5); got != "c" {
+		t.Fatalf("appended row decoded as %q", got)
+	}
+	if got := fresh.Column("m").Float(4); got != 10 {
+		t.Fatalf("appended measure = %g", got)
+	}
+	// Base table never sees the append.
+	if base.NumRows() != 4 {
+		t.Fatalf("base table grew to %d rows", base.NumRows())
+	}
+}
+
+func TestAppendBatchValidation(t *testing.T) {
+	base := streamBase(t)
+	if _, err := base.AppendBatch(NewRowBatch().Strings("dim", "a").Float64s("m", 1), streamTime(1)); err == nil {
+		t.Fatal("append to a frozen table succeeded")
+	}
+	live, err := base.AppendableCopy(streamTime(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		b    *RowBatch
+		want string
+	}{
+		{"missing column", NewRowBatch().Strings("dim", "a"), "batch has 1 columns"},
+		{"unknown column", NewRowBatch().Strings("dim", "a").Float64s("bogus", 1), "not in the schema"},
+		{"ragged", NewRowBatch().Strings("dim", "a", "b").Float64s("m", 1), "want 2"},
+		{"type mismatch", NewRowBatch().Float64s("dim", 1).Float64s("m", 1), "must be string"},
+		{"new dict value", NewRowBatch().Strings("dim", "zzz").Float64s("m", 1), "not in the dictionary"},
+		{"duplicate", NewRowBatch().Strings("dim", "a").Strings("dim", "a"), "staged twice"},
+	}
+	for _, tc := range cases {
+		if _, err := live.AppendBatch(tc.b, streamTime(1)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	// Rejected batches leave the table untouched.
+	if live.NumRows() != 4 || live.Epoch() != 0 {
+		t.Fatalf("table mutated by rejected batches: rows=%d epoch=%d", live.NumRows(), live.Epoch())
+	}
+}
+
+func TestAppendableCopyRejectsVirtuals(t *testing.T) {
+	fk := NewInt64Column("fk")
+	fk.Append(0)
+	tab := MustNew("star", fk)
+	attr, err := NewStringColumnFromCodes("attr", []string{"x"}, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, err := NewJoinColumn("joined", fk, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddVirtual(jc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.AppendableCopy(streamTime(0)); err == nil {
+		t.Fatal("AppendableCopy accepted a table with virtual join columns")
+	}
+}
+
+// TestScannerPinnedUnderAppend is the regression test for the stale-read
+// bug: scanners used to capture NumRows at construction and then read
+// column data live, so a scan over a growing table could mix an old row
+// bound with new data. Scanners are now pinned to the committed watermark
+// and epoch at construction.
+func TestScannerPinnedUnderAppend(t *testing.T) {
+	live, err := streamBase(t).AppendableCopy(streamTime(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSequentialScanner(live)
+	rnd := NewRandomScanner(live, rand.New(rand.NewSource(7)))
+	if _, err := live.AppendBatch(NewRowBatch().Strings("dim", "a", "a", "a").Float64s("m", 9, 9, 9), streamTime(1)); err != nil {
+		t.Fatal(err)
+	}
+	for name, sc := range map[string]Scanner{"sequential": seq, "random": rnd} {
+		n := 0
+		for {
+			row, ok := sc.Next()
+			if !ok {
+				break
+			}
+			if row >= 4 {
+				t.Fatalf("%s scanner emitted row %d appended after construction", name, row)
+			}
+			n++
+		}
+		if n != 4 {
+			t.Fatalf("%s scanner emitted %d rows, want 4", name, n)
+		}
+	}
+	if seq.Epoch() != 0 || rnd.Epoch() != 0 {
+		t.Fatalf("scanner epochs moved: seq=%d rnd=%d", seq.Epoch(), rnd.Epoch())
+	}
+	if NewSequentialScanner(live).Epoch() != 1 {
+		t.Fatal("new scanner not pinned to the bumped epoch")
+	}
+}
+
+func TestRowsInLast(t *testing.T) {
+	live, err := streamBase(t).AppendableCopy(streamTime(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No history: the whole table is current.
+	if got := live.RowsInLast(time.Minute); got != 0 {
+		t.Fatalf("no-history window starts at %d", got)
+	}
+	appendOne := func(sec int) {
+		t.Helper()
+		if _, err := live.AppendBatch(NewRowBatch().Strings("dim", "a").Float64s("m", 1), streamTime(sec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendOne(10)  // rows [4,5) @ t=10s
+	appendOne(70)  // rows [5,6) @ t=70s
+	appendOne(130) // rows [6,7) @ t=130s
+
+	cases := []struct {
+		window time.Duration
+		want   int
+	}{
+		{time.Second, 6},       // only the newest batch
+		{65 * time.Second, 5},  // newest two
+		{121 * time.Second, 4}, // all batches, base rows excluded (loaded at t=0 < cutoff t=9s)
+		{131 * time.Second, 0}, // cutoff before load time: everything
+		{0, 0},                 // no window: everything
+		{-time.Second, 0},      // degenerate: everything
+	}
+	for _, tc := range cases {
+		if got := live.RowsInLast(tc.window); got != tc.want {
+			t.Errorf("RowsInLast(%v) = %d, want %d", tc.window, got, tc.want)
+		}
+	}
+	// Snapshots resolve the same windows forever, even after more appends.
+	snap := live.Snapshot()
+	appendOne(500)
+	if got := snap.RowsInLast(65 * time.Second); got != 5 {
+		t.Errorf("snapshot RowsInLast = %d, want 5", got)
+	}
+	if got := live.RowsInLast(time.Second); got != 7 {
+		t.Errorf("live RowsInLast after new batch = %d, want 7", got)
+	}
+}
+
+// TestConcurrentAppendAndScan races appenders against snapshot readers:
+// under -race this proves the watermark discipline keeps readers and
+// writers on disjoint memory, and each snapshot's sums must reflect a
+// whole number of committed batches (no torn appends).
+func TestConcurrentAppendAndScan(t *testing.T) {
+	live, err := streamBase(t).AppendableCopy(streamTime(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < batches; i++ {
+			if _, err := live.AppendBatch(NewRowBatch().
+				Strings("dim", "a", "b").
+				Float64s("m", 1, 1), streamTime(i)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 50; i++ {
+				snap := live.Snapshot()
+				col, err := snap.Float64Column("m")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var sum float64
+				sc := NewRandomScanner(snap, rng)
+				for {
+					row, ok := sc.Next()
+					if !ok {
+						break
+					}
+					sum += col.Float(row)
+				}
+				// Base sum is 1+2+3+4=10; every committed batch adds 2.
+				extra := sum - 10
+				if extra < 0 || extra != float64(int(extra)) || int(extra)%2 != 0 {
+					t.Errorf("torn read: snapshot sum %g implies a partial batch", sum)
+					return
+				}
+				if snap.NumRows() != 4+int(extra) {
+					t.Errorf("snapshot rows %d disagree with sum %g", snap.NumRows(), sum)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if live.NumRows() != 4+2*batches || live.Epoch() != batches {
+		t.Fatalf("final state: rows=%d epoch=%d", live.NumRows(), live.Epoch())
+	}
+}

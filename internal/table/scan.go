@@ -42,12 +42,19 @@ func FillBatch(s Scanner, buf []int) int {
 // SequentialScanner yields rows 0..n-1 in order.
 type SequentialScanner struct {
 	n, pos int
+	epoch  int64
 }
 
-// NewSequentialScanner scans the table front to back.
+// NewSequentialScanner scans the table front to back. The scanner is
+// pinned at construction to the table's committed watermark and epoch:
+// rows appended after construction are never emitted, so an in-flight
+// scan over a growing table cannot mix an old row bound with new data.
 func NewSequentialScanner(t *Table) *SequentialScanner {
-	return &SequentialScanner{n: t.NumRows()}
+	return &SequentialScanner{n: t.CommittedRows(), epoch: t.Epoch()}
 }
+
+// Epoch returns the table epoch the scanner was pinned to at construction.
+func (s *SequentialScanner) Epoch() int64 { return s.epoch }
 
 // Next implements Scanner.
 func (s *SequentialScanner) Next() (int, bool) {
@@ -85,13 +92,23 @@ type RandomScanner struct {
 	offset  int
 	emitted int
 	cur     int
+	epoch   int64
 }
 
 // NewRandomScanner returns a scanner over all rows of t in pseudo-random
-// order derived from rng. An empty table yields an exhausted scanner.
+// order derived from rng. An empty table yields an exhausted scanner. Like
+// NewSequentialScanner, the scanner is pinned to the table's committed
+// watermark and epoch at construction: rows appended later are never
+// emitted.
 func NewRandomScanner(t *Table, rng *rand.Rand) *RandomScanner {
-	return NewRandomRangeScanner(0, t.NumRows(), rng)
+	s := NewRandomRangeScanner(0, t.CommittedRows(), rng)
+	s.epoch = t.Epoch()
+	return s
 }
+
+// Epoch returns the table epoch the scanner was pinned to at construction
+// (0 for range scanners built without a table).
+func (s *RandomScanner) Epoch() int64 { return s.epoch }
 
 // NewRandomRangeScanner returns a scanner over rows [lo, hi) in
 // pseudo-random order derived from rng: the same full-cycle affine walk as

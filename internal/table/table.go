@@ -3,16 +3,41 @@ package table
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Table is a named collection of equally sized columns, plus optional
 // virtual string accessors (star-schema join views) that behave like
 // dictionary-encoded columns for row classification but are not stored.
+//
+// Tables come in two flavors. A table built by New is frozen: its contents
+// never change and every method is safe for concurrent use. AppendableCopy
+// returns a live table that accepts AppendBatch while concurrent readers
+// keep working against immutable Snapshot views; on a live table only
+// AppendBatch, Snapshot, NumRows, CommittedRows, Epoch, Live, Marks, and
+// RowsInLast are safe to call concurrently — everything else must go
+// through a Snapshot.
 type Table struct {
 	name     string
 	columns  []Column
 	byName   map[string]int
 	virtuals map[string]StringAccessor
+
+	// Streaming state. wm is the committed row watermark: rows at indices
+	// < wm are immutable and visible; appends write only indices >= wm, so
+	// snapshot readers and writers never touch the same memory. epoch
+	// counts committed append batches (and is copied onto snapshots, so
+	// cache keys derived from it stay comparable). All structural updates
+	// happen under mu; wm/epoch are additionally atomic so the cheap
+	// accessors need no lock.
+	mu       sync.Mutex
+	live     atomic.Bool
+	wm       atomic.Int64
+	epoch    atomic.Int64
+	marks    []AppendMark // guarded by mu
+	loadedAt time.Time    // stream-time stamp of the pre-append base rows
 }
 
 // ErrRaggedColumns reports columns of unequal length.
@@ -41,8 +66,12 @@ func MustNew(name string, cols ...Column) *Table {
 }
 
 // AddColumn appends a column to the table. The column must be as long as the
-// existing columns and its name must be unused.
+// existing columns and its name must be unused. Live tables reject schema
+// changes: snapshots share the column set.
 func (t *Table) AddColumn(c Column) error {
+	if t.live.Load() {
+		return fmt.Errorf("table %q: cannot add a column to a live table", t.name)
+	}
 	if _, dup := t.byName[c.Name()]; dup {
 		return fmt.Errorf("table %q: duplicate column %q", t.name, c.Name())
 	}
@@ -58,8 +87,13 @@ func (t *Table) AddColumn(c Column) error {
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 
-// NumRows returns the number of rows.
+// NumRows returns the number of rows. On a live table this is the committed
+// watermark — rows an in-flight AppendBatch has written but not yet
+// committed are invisible.
 func (t *Table) NumRows() int {
+	if t.live.Load() {
+		return int(t.wm.Load())
+	}
 	if len(t.columns) == 0 {
 		return 0
 	}

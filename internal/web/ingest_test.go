@@ -1,0 +1,257 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/speech"
+)
+
+// postIngest ships rows to /api/ingest and decodes the reply.
+func postIngest(t *testing.T, ts *httptest.Server, dataset string, rows []datagen.FlightRow) (map[string]any, int) {
+	t.Helper()
+	b, _ := json.Marshal(map[string]any{"dataset": dataset, "rows": rows})
+	resp, err := http.Post(ts.URL+"/api/ingest", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST /api/ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out, resp.StatusCode
+}
+
+// getDatasets fetches /api/datasets and returns the entry for name.
+func getDatasets(t *testing.T, ts *httptest.Server, name string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/datasets")
+	if err != nil {
+		t.Fatalf("GET /api/datasets: %v", err)
+	}
+	defer resp.Body.Close()
+	var out []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for _, d := range out {
+		if d["name"] == name {
+			return d
+		}
+	}
+	t.Fatalf("dataset %q not listed", name)
+	return nil
+}
+
+// TestIngestVisibilityAndInvalidation is the end-to-end freshness test:
+// rows appended via /api/ingest must be visible to the very next query
+// (one epoch bump), and the append must make every cached answer from the
+// old epoch unreachable — the next equivalent query recomputes.
+func TestIngestVisibilityAndInvalidation(t *testing.T) {
+	_, ts := newCacheServer(t, Options{SemCacheViews: -1})
+	const input = "how does cancellation depend on region and season"
+
+	ask := func(session string) map[string]any {
+		out, code := postQuery(t, ts, map[string]string{
+			"session": session, "dataset": "flights", "input": input, "method": "this",
+		})
+		if code != http.StatusOK {
+			t.Fatalf("query status = %d: %v", code, out)
+		}
+		return out
+	}
+
+	cold := ask("s0")
+	if cold["cache"] != nil {
+		t.Fatalf("first query should be cold, got cache=%v", cold["cache"])
+	}
+	if e := cold["dataEpoch"].(float64); e != 0 {
+		t.Fatalf("cold dataEpoch = %v", e)
+	}
+	if r := cold["tableRows"].(float64); r != 5000 {
+		t.Fatalf("cold tableRows = %v", r)
+	}
+	hit := ask("s1")
+	if hit["cache"] != "hit" {
+		t.Fatalf("second query should hit, got cache=%v", hit["cache"])
+	}
+
+	ack, code := postIngest(t, ts, "flights", datagen.FlightRows(99, 120))
+	if code != http.StatusOK {
+		t.Fatalf("ingest status = %d: %v", code, ack)
+	}
+	if ack["appended"].(float64) != 120 || ack["epoch"].(float64) != 1 || ack["totalRows"].(float64) != 5120 {
+		t.Fatalf("ingest ack = %v", ack)
+	}
+	ds := getDatasets(t, ts, "flights")
+	if ds["rows"].(float64) != 5120 || ds["epoch"].(float64) != 1 || ds["live"] != true {
+		t.Fatalf("dataset listing = %v", ds)
+	}
+
+	// The next equivalent query must NOT replay the epoch-0 answer.
+	fresh := ask("s2")
+	if fresh["cache"] != nil {
+		t.Fatalf("post-ingest query replayed a stale answer: cache=%v", fresh["cache"])
+	}
+	if e := fresh["dataEpoch"].(float64); e != 1 {
+		t.Fatalf("post-ingest dataEpoch = %v", e)
+	}
+	if r := fresh["tableRows"].(float64); r != 5120 {
+		t.Fatalf("post-ingest answer computed over %v rows, want 5120", r)
+	}
+	if fresh["stale"] != nil {
+		t.Fatalf("fresh answer flagged stale: %v", fresh)
+	}
+	// And the recomputed answer is cached at the new epoch.
+	rehit := ask("s3")
+	if rehit["cache"] != "hit" || rehit["dataEpoch"].(float64) != 1 {
+		t.Fatalf("epoch-1 answer not cached: %v", rehit)
+	}
+
+	// A windowed phrasing runs against the live marks without error and
+	// caches under its own key (distinct from the unwindowed one).
+	win, code := postQuery(t, ts, map[string]string{
+		"session": "s4", "dataset": "flights",
+		"input": input + " in the last hour", "method": "this",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("windowed query status = %d: %v", code, win)
+	}
+	if win["cache"] != nil {
+		t.Fatalf("windowed query must not share the unwindowed key: %v", win["cache"])
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	_, ts := newCacheServer(t, Options{SemCacheViews: -1})
+	rows := datagen.FlightRows(5, 3)
+
+	if _, code := postIngest(t, ts, "nope", rows); code != http.StatusNotFound {
+		t.Fatalf("unknown dataset status = %d", code)
+	}
+	if _, code := postIngest(t, ts, "flights", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d", code)
+	}
+	bad := rows
+	bad[1].Airline = "Air Nowhere"
+	if out, code := postIngest(t, ts, "flights", bad); code != http.StatusUnprocessableEntity {
+		t.Fatalf("new dict member status = %d: %v", code, out)
+	}
+	// A rejected batch must not bump the epoch or leak partial rows.
+	ds := getDatasets(t, ts, "flights")
+	if ds["rows"].(float64) != 5000 || ds["epoch"].(float64) != 0 {
+		t.Fatalf("rejected batch mutated the dataset: %v", ds)
+	}
+}
+
+// TestStaleFlagOnMidAnswerIngest pins the degrade-not-error staleness
+// contract: an answer whose dataset accepts a batch between query commit
+// and reply is served anyway, flagged stale, with the spoken caveat.
+func TestStaleFlagOnMidAnswerIngest(t *testing.T) {
+	srv, ts := newCacheServer(t, Options{SemCacheViews: -1})
+	hold := make(chan struct{})
+	parked := make(chan struct{})
+	srv.holdVocalize = hold
+	srv.vocalizeParked = parked
+
+	type reply struct {
+		out  map[string]any
+		code int
+	}
+	done := make(chan reply, 1)
+	go func() {
+		out, code := postQuery(t, ts, map[string]string{
+			"session": "q", "dataset": "flights",
+			"input": "how does cancellation depend on region", "method": "this",
+		})
+		done <- reply{out, code}
+	}()
+
+	// Wait until the query is parked past its commit (epoch 0 captured),
+	// land a batch, then let it proceed.
+	<-parked
+	ack, code := postIngest(t, ts, "flights", datagen.FlightRows(17, 25))
+	if code != http.StatusOK {
+		t.Fatalf("ingest status = %d: %v", code, ack)
+	}
+	close(hold)
+	r := <-done
+	if r.code != http.StatusOK {
+		t.Fatalf("query status = %d: %v", r.code, r.out)
+	}
+	if r.out["stale"] != true {
+		t.Fatalf("mid-answer ingest not flagged: %v", r.out)
+	}
+	if r.out["staleNote"] != speech.StaleNote {
+		t.Fatalf("staleNote = %v", r.out["staleNote"])
+	}
+	if r.out["dataEpoch"].(float64) != 0 {
+		t.Fatalf("dataEpoch = %v, want the epoch the answer was computed at", r.out["dataEpoch"])
+	}
+	if sp, _ := r.out["speech"].(string); sp == "" {
+		t.Fatal("stale answer must still carry the speech (degrade, don't error)")
+	}
+}
+
+// TestConcurrentIngestQueryReload races streaming appends, queries (plain
+// and windowed), and whole-dataset reloads; run under -race. Queries must
+// always answer 200 and ingests either land or report the reload conflict.
+func TestConcurrentIngestQueryReload(t *testing.T) {
+	srv, ts := newCacheServer(t, Options{SemCacheViews: -1, MaxConcurrent: 64})
+
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				out, code := postIngest(t, ts, "flights", datagen.FlightRows(int64(g*100+i), 20))
+				if code != http.StatusOK && code != http.StatusConflict {
+					t.Errorf("ingest status = %d: %v", code, out)
+				}
+			}
+		}(g)
+	}
+	inputs := []string{
+		"how does cancellation depend on region",
+		"how does cancellation depend on region and season",
+		"how does cancellation depend on region in the last hour",
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				out, code := postQuery(t, ts, map[string]string{
+					"session": fmt.Sprintf("q%d", g), "dataset": "flights",
+					"input": inputs[(g+i)%len(inputs)], "method": "this",
+				})
+				if code != http.StatusOK {
+					t.Errorf("query status = %d: %v", code, out)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			flights, err := datagen.Flights(datagen.FlightsConfig{Rows: 3000, Seed: int64(500 + i)})
+			if err != nil {
+				t.Errorf("Flights: %v", err)
+				return
+			}
+			if err := srv.ReloadDataset("flights", flights); err != nil {
+				t.Errorf("ReloadDataset: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+}

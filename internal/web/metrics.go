@@ -126,6 +126,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	writeMetricHeader(w, "voiceolap_ingest_batches_total", "counter", "Accepted streaming ingest batches.")
+	fmt.Fprintf(w, "voiceolap_ingest_batches_total %d\n", s.ingestBatches.Load())
+	writeMetricHeader(w, "voiceolap_ingest_rows_total", "counter", "Rows appended via streaming ingest.")
+	fmt.Fprintf(w, "voiceolap_ingest_rows_total %d\n", s.ingestRows.Load())
+	writeMetricHeader(w, "voiceolap_stale_answers_total", "counter", "Answers flagged stale because the dataset epoch advanced mid-answer.")
+	fmt.Fprintf(w, "voiceolap_stale_answers_total %d\n", s.staleAnswers.Load())
+
 	if p50, p99, count, ok := s.latw.quantiles(); ok {
 		writeMetricHeader(w, "voiceolap_vocalize_latency_seconds", "summary", "Wall-clock vocalize latency over a sliding window.")
 		fmt.Fprintf(w, "voiceolap_vocalize_latency_seconds{quantile=\"0.5\"} %g\n", p50.Seconds())
@@ -138,6 +145,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "voiceolap_semcache_answers_total{outcome=\"hit\"} %d\n", sc.Answers.Hits)
 		fmt.Fprintf(w, "voiceolap_semcache_answers_total{outcome=\"miss\"} %d\n", sc.Answers.Misses)
 		fmt.Fprintf(w, "voiceolap_semcache_answers_total{outcome=\"coalesced\"} %d\n", sc.Answers.Coalesced)
+		fmt.Fprintf(w, "voiceolap_semcache_answers_total{outcome=\"aborted\"} %d\n", sc.Answers.Aborted)
 		writeMetricHeader(w, "voiceolap_semcache_stores_total", "counter", "Tier-A stores, rejections (uncacheable answers), evictions, and purges.")
 		fmt.Fprintf(w, "voiceolap_semcache_stores_total{event=\"stored\"} %d\n", sc.Answers.Stores)
 		fmt.Fprintf(w, "voiceolap_semcache_stores_total{event=\"rejected\"} %d\n", sc.Answers.Rejected)

@@ -7,8 +7,9 @@
 // semcache-normalized query, so canonical-key equality implies identical
 // planner input and therefore identical speech under the server's
 // deterministic configuration. Second, cache keys embed the dataset
-// epoch, which ReloadDataset bumps before the new data is visible — a
-// stale answer can never be served, even to requests already in flight.
+// epoch, which both ReloadDataset and every ingest batch bump before the
+// new data is visible — a stale answer can never be served, even to
+// requests already in flight.
 package web
 
 import (
@@ -27,6 +28,7 @@ import (
 	"repro/internal/olap"
 	"repro/internal/sampling"
 	"repro/internal/semcache"
+	"repro/internal/table"
 )
 
 // warmViewReservoir is the per-aggregate sample bound for tier-B views;
@@ -38,8 +40,14 @@ const warmViewReservoir = 256
 // reload makes all earlier answers and views unreachable atomically.
 type datasetState struct {
 	info DatasetInfo
-	// epoch counts dataset reloads; guarded by Server.mu.
+	// epoch counts data changes — whole-dataset reloads and streaming
+	// ingest batches; guarded by Server.mu.
 	epoch int64
+	// live is the appendable copy of the base table, created lazily on
+	// the first ingest (copy-on-first-ingest keeps the registered dataset
+	// object immutable for whoever else holds it). The pointer is guarded
+	// by Server.mu; the table itself synchronizes appends internally.
+	live *table.Table
 	// pool holds pristine pre-cloned sessions; nil when pooling is off.
 	pool *semcache.Pool[*nlq.Session]
 }
@@ -128,7 +136,8 @@ func (s *Server) tryServeCached(w http.ResponseWriter, req queryRequest, sess *n
 		s.mu.Unlock()
 		return false
 	}
-	key := answerKey(req.Dataset, st.epoch, method, probe.Query())
+	epoch := st.epoch
+	key := answerKey(req.Dataset, epoch, method, probe.Query())
 	ans, ok := s.answers.Get(key)
 	if !ok {
 		s.mu.Unlock()
@@ -149,7 +158,7 @@ func (s *Server) tryServeCached(w http.ResponseWriter, req queryRequest, sess *n
 	}
 	s.serving.cached(tenant, semcache.Hit)
 	latencyMS := float64(time.Since(start)) / float64(time.Millisecond)
-	s.respondSpeech(w, req, method, resp, ans.voc, "cache", ans.origin, semcache.Hit.String(), "", latencyMS)
+	s.respondSpeech(w, req, method, resp, ans.voc, "cache", ans.origin, semcache.Hit.String(), "", latencyMS, st, epoch)
 	return true
 }
 
@@ -159,7 +168,7 @@ func (s *Server) tryServeCached(w http.ResponseWriter, req queryRequest, sess *n
 // prebuilt sample view so even a tier-A miss skips scan cost. Brownout
 // and breaker observations happen inside the compute closure, so only
 // real vocalizer runs feed the control loops.
-func (s *Server) answerQuery(ctx context.Context, st *datasetState, dataset string, epoch int64, nq olap.Query, method, servedBy string, step admission.Step, fallback string) (cachedAnswer, semcache.Outcome, error) {
+func (s *Server) answerQuery(ctx context.Context, info DatasetInfo, dataset string, epoch int64, nq olap.Query, method, servedBy string, step admission.Step, fallback string) (cachedAnswer, semcache.Outcome, error) {
 	compute := func() (cachedAnswer, bool, error) {
 		var view *sampling.View
 		if servedBy == "this" && s.views != nil && s.cfg.Uncertainty == core.UncertaintyOff {
@@ -168,7 +177,7 @@ func (s *Server) answerQuery(ctx context.Context, st *datasetState, dataset stri
 			}
 		}
 		wallStart := time.Now()
-		voc, err := s.vocalize(ctx, st.info, nq, servedBy, step, view)
+		voc, err := s.vocalize(ctx, info, nq, servedBy, step, view)
 		wall := time.Since(wallStart)
 		s.brown.Observe(wall)
 		s.latw.observe(wall)
@@ -288,6 +297,7 @@ func (s *Server) ReloadDataset(name string, d *olap.Dataset) error {
 	}
 	st.info = fresh.info
 	st.pool = fresh.pool
+	st.live = nil
 	st.epoch++
 	for key := range s.sessions {
 		if strings.HasSuffix(key, "\x00"+name) {

@@ -24,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
@@ -73,6 +74,11 @@ type QueryLogEntry struct {
 	// Cache classifies the semantic-cache path ("hit", "coalesced",
 	// "warm"); empty for cold answers.
 	Cache string `json:"cache,omitempty"`
+	// DataEpoch is the dataset epoch the answer was computed against.
+	DataEpoch int64 `json:"dataEpoch"`
+	// Stale marks answers whose epoch advanced before the reply was
+	// written (rows were ingested mid-answer).
+	Stale bool `json:"stale,omitempty"`
 }
 
 // Options tunes the server's robustness knobs. The zero value selects the
@@ -255,6 +261,11 @@ type Server struct {
 	viewJobs  chan viewJob
 	quit      chan struct{}
 	closeOnce sync.Once
+	// ingestBatches / ingestRows count accepted append batches and rows;
+	// staleAnswers counts replies flagged stale (epoch moved mid-answer).
+	ingestBatches atomic.Int64
+	ingestRows    atomic.Int64
+	staleAnswers  atomic.Int64
 	// latw tracks vocalize wall latencies for /metrics quantiles.
 	latw *latencyWindow
 	// now is the server-side bookkeeping clock, stubbed in tests.
@@ -262,6 +273,10 @@ type Server struct {
 	// holdVocalize, when non-nil, blocks vocalizations until closed —
 	// a test hook for exercising admission control deterministically.
 	holdVocalize chan struct{}
+	// vocalizeParked, when non-nil, is closed once a request reaches the
+	// holdVocalize gate (its command is committed, its epoch captured) —
+	// the companion hook that lets a test order events around the hold.
+	vocalizeParked chan struct{}
 }
 
 // NewServer registers the datasets and returns a server with default
@@ -336,6 +351,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /", s.handleIndex)
 	mux.HandleFunc("GET /api/datasets", s.handleDatasets)
 	mux.HandleFunc("POST /api/query", s.handleQuery)
+	mux.HandleFunc("POST /api/ingest", s.handleIngest)
 	mux.HandleFunc("GET /api/log", s.handleLog)
 	mux.HandleFunc("GET /api/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -361,15 +377,21 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		Name    string `json:"name"`
 		Rows    int    `json:"rows"`
 		Measure string `json:"measure"`
+		// Epoch counts data changes (reloads and ingest batches); Live
+		// marks datasets that have accepted streaming appends.
+		Epoch int64 `json:"epoch"`
+		Live  bool  `json:"live,omitempty"`
 	}
 	s.mu.Lock()
 	out := make([]dataset, 0, len(s.order))
 	for _, name := range s.order {
-		info := s.datasets[name].info
+		st := s.datasets[name]
 		out = append(out, dataset{
 			Name:    name,
-			Rows:    info.Dataset.Table().NumRows(),
-			Measure: info.MeasureDesc,
+			Rows:    st.info.Dataset.Table().NumRows(),
+			Measure: st.info.MeasureDesc,
+			Epoch:   st.epoch,
+			Live:    st.live != nil,
 		})
 	}
 	s.mu.Unlock()
@@ -423,6 +445,21 @@ type queryResponse struct {
 	// Fallback explains a ServedBy/method mismatch: "brownout" or
 	// "breaker".
 	Fallback string `json:"fallback,omitempty"`
+	// DataEpoch is the dataset epoch the answer's data snapshot belonged
+	// to. Streaming clients compare it with ingest acknowledgements: any
+	// answer with DataEpoch at or above the client's last acked epoch
+	// provably includes those appends.
+	DataEpoch int64 `json:"dataEpoch"`
+	// TableRows is the committed row count of that snapshot.
+	TableRows int64 `json:"tableRows,omitempty"`
+	// Stale flags an answer computed against an epoch that was already
+	// superseded by an ingest when the reply was written. The speech
+	// itself is unchanged and grammar-valid (degrade, don't error);
+	// StaleNote carries the spoken caveat.
+	Stale bool `json:"stale,omitempty"`
+	// StaleNote is the spoken freshness caveat (speech.StaleNote) set
+	// exactly when Stale is true.
+	StaleNote string `json:"staleNote,omitempty"`
 }
 
 // methodName normalizes the requested vocalization method; ok is false
@@ -578,7 +615,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Admitted: commit the staged command on the live session. The parse
 	// re-runs under the lock so concurrent commits serialize; a racing
 	// command may have changed the session since the dry run, so the
-	// committed response is authoritative.
+	// committed response is authoritative. The dataset info is captured
+	// under the same lock hold as the epoch: reload and ingest swap
+	// st.info while holding s.mu, so reading it later (inside the compute
+	// closure) would race and could pair an old epoch with new data.
 	s.mu.Lock()
 	resp, err = sess.Parse(req.Input)
 	var q olap.Query
@@ -586,6 +626,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		q = sess.Query()
 	}
 	epoch := st.epoch
+	info := st.info
 	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
@@ -597,6 +638,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if s.holdVocalize != nil {
+		if s.vocalizeParked != nil {
+			close(s.vocalizeParked)
+			s.vocalizeParked = nil
+		}
 		<-s.holdVocalize
 	}
 	step := s.brown.Step()
@@ -618,7 +663,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// cached speech sound.
 	nq := semcache.Normalize(q)
 	wallStart := time.Now()
-	ans, outcome, err := s.answerQuery(r.Context(), st, req.Dataset, epoch, nq, method, servedBy, step, fallback)
+	ans, outcome, err := s.answerQuery(r.Context(), info, req.Dataset, epoch, nq, method, servedBy, step, fallback)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || r.Context().Err() == context.Canceled {
 			s.serving.clientGone(tenant)
@@ -650,12 +695,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.serving.warmServed()
 		}
 	}
-	s.respondSpeech(w, req, method, resp, ans.voc, servedAs, origin, cacheTag, fallback, latencyMS)
+	s.respondSpeech(w, req, method, resp, ans.voc, servedAs, origin, cacheTag, fallback, latencyMS, st, epoch)
 }
 
 // respondSpeech writes the speech response and appends the query-log
-// entry — shared by the cold path and the cache fast path.
-func (s *Server) respondSpeech(w http.ResponseWriter, req queryRequest, method string, resp nlq.Response, voc vocOut, servedBy, origin, cacheTag, fallback string, latencyMS float64) {
+// entry — shared by the cold path and the cache fast path. dataEpoch is
+// the dataset epoch the answer was computed against; if the dataset has
+// moved past it by the time the reply is written, the answer is flagged
+// stale (degrade, don't error) with the spoken caveat attached.
+func (s *Server) respondSpeech(w http.ResponseWriter, req queryRequest, method string, resp nlq.Response, voc vocOut, servedBy, origin, cacheTag, fallback string, latencyMS float64, st *datasetState, dataEpoch int64) {
 	out := queryResponse{
 		Action:    resp.Action,
 		Message:   resp.Message,
@@ -666,6 +714,8 @@ func (s *Server) respondSpeech(w http.ResponseWriter, req queryRequest, method s
 		Origin:    origin,
 		Cache:     cacheTag,
 		Fallback:  fallback,
+		DataEpoch: dataEpoch,
+		TableRows: voc.tableRows,
 	}
 	if voc.structured != nil {
 		enc := encode.EncodeSpeech(voc.structured)
@@ -673,6 +723,10 @@ func (s *Server) respondSpeech(w http.ResponseWriter, req queryRequest, method s
 		out.SSML = voc.structured.SSML(speech.DefaultSSMLOptions())
 	}
 	s.mu.Lock()
+	if st.epoch != dataEpoch {
+		out.Stale = true
+		out.StaleNote = speech.StaleNote
+	}
 	s.log.add(QueryLogEntry{
 		Time:      s.now(),
 		Session:   req.Session,
@@ -685,8 +739,13 @@ func (s *Server) respondSpeech(w http.ResponseWriter, req queryRequest, method s
 		ServedBy:  servedBy,
 		Origin:    origin,
 		Cache:     cacheTag,
+		DataEpoch: dataEpoch,
+		Stale:     out.Stale,
 	})
 	s.mu.Unlock()
+	if out.Stale {
+		s.staleAnswers.Add(1)
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -699,6 +758,9 @@ type vocOut struct {
 	degraded   bool
 	// reason explains a degraded answer (the context error text).
 	reason string
+	// tableRows is the committed row count of the data snapshot the
+	// answer was computed over.
+	tableRows int64
 }
 
 // vocalize runs the chosen vocalizer on the query under ctx. At
@@ -714,7 +776,12 @@ func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, m
 		if err != nil {
 			return vocOut{}, err
 		}
-		return vocOut{text: out.Text, latency: out.Latency, degraded: out.Truncated}, nil
+		return vocOut{
+			text:      out.Text,
+			latency:   out.Latency,
+			degraded:  out.Truncated,
+			tableRows: int64(info.Dataset.Table().NumRows()),
+		}, nil
 	}
 	cfg := s.cfg
 	cfg.Format = info.Format
@@ -740,6 +807,7 @@ func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, m
 				latency:    out.Latency,
 				degraded:   out.Degraded,
 				reason:     out.DegradeReason,
+				tableRows:  out.TableRows,
 			}, nil
 		}
 		// A view the warm vocalizer rejects (uncertainty mode turned on
@@ -755,6 +823,7 @@ func (s *Server) vocalize(ctx context.Context, info DatasetInfo, q olap.Query, m
 		latency:    out.Latency,
 		degraded:   out.Degraded,
 		reason:     out.DegradeReason,
+		tableRows:  out.TableRows,
 	}, nil
 }
 
