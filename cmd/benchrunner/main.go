@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|fig3|table2|table5|table6|table7|table8|table11|table12|table13|ablations|scaling|pipeline|planner]
+//	benchrunner [-exp all|fig3|table2|table5|table6|table7|table8|table11|table12|table13|ablations|datascaling|scaling|pipeline|planner]
 //	            [-flight-rows N] [-sessions N] [-seed S]
 //	            [-workers N] [-gen-workers N] [-bench-out FILE]  (pipeline)
 //	            [-workers N] [-planner-rounds N] [-bench-out FILE]  (planner)
+//	            [-planner-rounds N] [-bench-out FILE]  (scaling)
 //
 // Pass -flight-rows 5300000 for paper-scale runs (slower; the default
 // 200000 preserves the published shapes at a fraction of the time).
@@ -30,7 +31,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment id (all, fig3, table2, table5, table6, table7, table8, table11, table12, table13, ablations, scaling, pipeline, planner)")
+	exp := flag.String("exp", "all", "experiment id (all, fig3, table2, table5, table6, table7, table8, table11, table12, table13, ablations, datascaling, scaling, pipeline, planner)")
 	flightRows := flag.Int("flight-rows", experiments.DefaultBenchFlightRows, "flight dataset rows (paper: 5300000)")
 	sessions := flag.Int("sessions", 20, "exploratory study sessions per dataset")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -76,6 +77,19 @@ func run() error {
 		}
 		experiments.PrintPipeline(os.Stdout, res)
 		return writeBench("BENCH_pipeline.json", res.WriteJSON)
+	}
+
+	// The multicore scaling sweep owns its dataset and changes GOMAXPROCS
+	// per column, so it runs alone, before the shared setup.
+	if *exp == "scaling" {
+		res, err := experiments.ScalingSweep(experiments.ScalingConfig{
+			Rows: *flightRows, Seed: *seed, Rounds: *plannerRounds,
+		})
+		if err != nil {
+			return err
+		}
+		experiments.PrintScalingSweep(os.Stdout, res)
+		return writeBench("BENCH_scaling.json", res.WriteJSON)
 	}
 
 	// The planner experiment likewise owns its dataset and skips the
@@ -210,17 +224,17 @@ func run() error {
 			fmt.Fprintln(w)
 		}
 	}
-	if want("scaling") {
+	if want("datascaling") {
 		ran = true
-		rows, err := experiments.Scaling(*seed, nil)
+		rows, err := experiments.DataScaling(*seed, nil)
 		if err != nil {
 			return err
 		}
-		experiments.PrintScaling(w, rows)
+		experiments.PrintDataScaling(w, rows)
 		fmt.Fprintln(w)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q; valid: all fig3 table2 table5 table6 table7 table8 table11 table12 table13 ablations scaling pipeline planner",
+		return fmt.Errorf("unknown experiment %q; valid: all fig3 table2 table5 table6 table7 table8 table11 table12 table13 ablations datascaling scaling pipeline planner",
 			strings.TrimSpace(*exp))
 	}
 	return nil

@@ -101,11 +101,14 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 	if cfg.BackgroundSampling {
 		// Sharded scanning only applies to the default pseudo-random scan:
 		// a Scanner override supplies a single stream (fault wrappers), so
-		// it keeps the single background goroutine.
+		// it keeps the single background goroutine. Multi-shard scans use
+		// the epoch sampler: per-worker epoch-local accumulators merged at
+		// batch boundaries, with wait-free estimator reads — the planner's
+		// workers never serialize behind the scan.
 		var async sampling.BackgroundSource
 		var err error
 		if cfg.SamplerShards > 1 && cfg.Scanner == nil {
-			async, err = sampling.NewShardedSampler(s.space, s.rng, cfg.SamplerShards, cfg.RowsPerRound*4)
+			async, err = sampling.NewEpochSampler(s.space, s.rng, cfg.SamplerShards, cfg.RowsPerRound*4)
 		} else {
 			async, err = sampling.NewAsyncSamplerWithScanner(s.space, newScanner(cfg, s.space, s.rng), cfg.RowsPerRound*4)
 		}
@@ -158,6 +161,7 @@ func (h *Holistic) VocalizeContext(ctx context.Context) (*Output, error) {
 	}
 	tree.UniformPolicy = cfg.UniformTreePolicy
 	tree.SeededEval = s.seededEvalFunc(est)
+	tree.SeededEvalFactory = s.seededEvalFactory(est)
 	// Tree construction overlaps preamble playback: on a simulated
 	// substrate its cost consumes playback time, never answer latency.
 	s.simCharge(tree.NodeCount())

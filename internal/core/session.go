@@ -142,6 +142,29 @@ func (s *session) seededEvalFunc(est sampling.Estimator) mcts.SeededEvalFunc {
 	}
 }
 
+// seededEvalFactory builds a fresh seeded evaluator per planner worker,
+// each backed by a private belief.RewardKernel: the kernel memoizes
+// per-speech mean terms and hoists the CDF constants without any
+// cross-worker sharing, and its rewards are bit-identical to Model.Reward
+// (so switching a tree from SeededEval to SeededEvalFactory changes no
+// sampled statistic, only the cost of producing them).
+func (s *session) seededEvalFactory(est sampling.Estimator) func() mcts.SeededEvalFunc {
+	return func() mcts.SeededEvalFunc {
+		k := s.model.NewRewardKernel()
+		return func(sp *speech.Speech, rng *rand.Rand) (float64, bool) {
+			a, ok := est.PickAggregate(rng)
+			if !ok {
+				return 0, false
+			}
+			e, ok := est.Estimate(a, rng)
+			if !ok {
+				return 0, false
+			}
+			return k.Reward(sp, a, e), true
+		}
+	}
+}
+
 // simAdvance moves a simulated clock forward by the per-round cost;
 // on a real clock time passes by itself.
 func (s *session) simAdvance() {

@@ -71,6 +71,7 @@ func (u *Unmerged) VocalizeContext(ctx context.Context) (*Output, error) {
 	}
 	tree.UniformPolicy = cfg.UniformTreePolicy
 	tree.SeededEval = s.seededEvalFunc(s.sampler.Cache())
+	tree.SeededEvalFactory = s.seededEvalFactory(s.sampler.Cache())
 	// Without pipelining there is nothing to overlap tree construction
 	// with: its cost comes straight out of the interactivity budget.
 	s.simCharge(tree.NodeCount())

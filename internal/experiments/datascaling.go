@@ -12,15 +12,15 @@ import (
 	"repro/internal/voice"
 )
 
-// ScalingRow measures both approaches' real latency at one dataset size.
-type ScalingRow struct {
+// DataScalingRow measures both approaches' real latency at one dataset size.
+type DataScalingRow struct {
 	Rows             int
 	OptimalLatency   time.Duration
 	HolisticLatency  time.Duration
 	OptimalViolation bool // above the 500 ms interactivity threshold
 }
 
-// Scaling measures how time-to-first-output grows with data volume — the
+// DataScaling measures how time-to-first-output grows with data volume — the
 // paper's motivating claim: exact evaluation before speaking cannot stay
 // interactive as data grows, while the holistic pipeline's latency is
 // independent of table size. Both run with honest wall-clock timing (no
@@ -33,11 +33,11 @@ type ScalingRow struct {
 // in this reproduction is the plan-space term on 3-dimensional queries
 // (Figure 3's N,DA and W,RA rows); on the paper's Java/Postgres substrate
 // the scan term alone sufficed.
-func Scaling(seed int64, sizes []int) ([]ScalingRow, error) {
+func DataScaling(seed int64, sizes []int) ([]DataScalingRow, error) {
 	if len(sizes) == 0 {
 		sizes = []int{50000, 200000, 1000000, datagen.PaperFlightRows}
 	}
-	var out []ScalingRow
+	var out []DataScalingRow
 	for _, rows := range sizes {
 		d, err := datagen.Flights(datagen.FlightsConfig{Rows: rows, Seed: seed})
 		if err != nil {
@@ -81,7 +81,7 @@ func Scaling(seed int64, sizes []int) ([]ScalingRow, error) {
 				hLat = hOut.Latency
 			}
 		}
-		out = append(out, ScalingRow{
+		out = append(out, DataScalingRow{
 			Rows:             rows,
 			OptimalLatency:   oLat,
 			HolisticLatency:  hLat,
@@ -91,8 +91,8 @@ func Scaling(seed int64, sizes []int) ([]ScalingRow, error) {
 	return out, nil
 }
 
-// PrintScaling writes the scaling table.
-func PrintScaling(w io.Writer, rows []ScalingRow) {
+// PrintDataScaling writes the scaling table.
+func PrintDataScaling(w io.Writer, rows []DataScalingRow) {
 	fmt.Fprintln(w, "Scaling — time to first voice output vs data volume (region x season, real clock)")
 	fmt.Fprintf(w, "%10s %16s %16s %s\n", "rows", "optimal", "holistic", "optimal interactive?")
 	for _, r := range rows {

@@ -6,13 +6,13 @@ import (
 	"testing"
 )
 
-func TestScalingShape(t *testing.T) {
+func TestDataScalingShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling in short mode")
 	}
-	rows, err := Scaling(1, []int{20000, 1000000})
+	rows, err := DataScaling(1, []int{20000, 1000000})
 	if err != nil {
-		t.Fatalf("Scaling: %v", err)
+		t.Fatalf("DataScaling: %v", err)
 	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
@@ -30,7 +30,7 @@ func TestScalingShape(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	PrintScaling(&buf, rows)
+	PrintDataScaling(&buf, rows)
 	if !strings.Contains(buf.String(), "Scaling") {
 		t.Error("printout malformed")
 	}

@@ -55,6 +55,18 @@ type PipelineResult struct {
 	// runner the parallel evaluation is skipped — a "speedup" measured
 	// there is scheduler noise, not a result.
 	ParallelNote string `json:"parallel_note,omitempty"`
+	// EvalSweep is the per-worker scan curve (1/2/4/... up to Workers),
+	// embedded when the runner has more than one core.
+	EvalSweep []EvalSweepPoint `json:"eval_sweep,omitempty"`
+}
+
+// EvalSweepPoint is one worker count of the embedded evaluation sweep.
+type EvalSweepPoint struct {
+	Workers    int     `json:"workers"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Speedup    float64 `json:"speedup"`
+	// Efficiency is Speedup/Workers: 1.0 means ideal linear scaling.
+	Efficiency float64 `json:"efficiency"`
 }
 
 // timeBest runs f reps times and returns the fastest duration: the least
@@ -174,6 +186,25 @@ func Pipeline(cfg PipelineConfig) (*PipelineResult, error) {
 	if parNs > 0 {
 		res.Speedup = float64(seqNs) / float64(parNs)
 	}
+	if runtime.NumCPU() >= 2 {
+		for w := 1; w <= workers; w *= 2 {
+			var swErr error
+			d := timeBest(3, func() {
+				if _, eerr := olap.EvaluateSpaceWorkers(space, w); eerr != nil {
+					swErr = eerr
+				}
+			})
+			if swErr != nil {
+				return nil, swErr
+			}
+			p := EvalSweepPoint{Workers: w, RowsPerSec: rowsPerSec(d)}
+			if d > 0 && seqNs > 0 {
+				p.Speedup = float64(seqNs) / float64(d)
+				p.Efficiency = p.Speedup / float64(w)
+			}
+			res.EvalSweep = append(res.EvalSweep, p)
+		}
+	}
 	return res, nil
 }
 
@@ -197,5 +228,9 @@ func PrintPipeline(w io.Writer, r *PipelineResult) {
 	} else {
 		fmt.Fprintf(w, "  exact eval parallel:   %10.0f rows/s  (speedup %.2fx)\n",
 			r.ParallelRowsPerSec, r.Speedup)
+	}
+	for _, p := range r.EvalSweep {
+		fmt.Fprintf(w, "    %d workers:           %10.0f rows/s  (speedup %.2fx, efficiency %.2f)\n",
+			p.Workers, p.RowsPerSec, p.Speedup, p.Efficiency)
 	}
 }

@@ -57,6 +57,12 @@ type ParallelSample struct {
 	// single-CPU runner (see num_cpu) expect ~1x or below: virtual-loss
 	// workers only help when they run on distinct cores.
 	Speedup float64 `json:"speedup"`
+	// Efficiency is Speedup/Workers: 1.0 means ideal linear scaling.
+	Efficiency float64 `json:"efficiency"`
+	// MutexWaitNs and GCPauseNs are deltas over this measurement:
+	// contention evidence recorded alongside the throughput.
+	MutexWaitNs int64 `json:"mutex_wait_ns"`
+	GCPauseNs   int64 `json:"gc_pause_ns"`
 }
 
 // PlannerResult is the machine-readable record of the planner benchmark.
@@ -573,13 +579,20 @@ func Planner(cfg PlannerConfig) (*PlannerResult, error) {
 		parallelNote = "parallel sweep skipped: single-CPU runner (virtual-loss workers need distinct cores for speedup to mean anything)"
 	} else {
 		for w := 2; w <= maxWorkers; w *= 2 {
+			probe := probeContention()
 			d, merr := measure(w)
 			if merr != nil {
 				return nil, fmt.Errorf("experiments: %w", merr)
 			}
-			ps := ParallelSample{Workers: w, Ns: d.Nanoseconds(), RoundsPerSec: roundsPerSec(d)}
+			after := probeContention()
+			ps := ParallelSample{
+				Workers: w, Ns: d.Nanoseconds(), RoundsPerSec: roundsPerSec(d),
+				MutexWaitNs: after.mutexWaitNs - probe.mutexWaitNs,
+				GCPauseNs:   int64(after.gcPauseNs - probe.gcPauseNs),
+			}
 			if d > 0 {
 				ps.Speedup = float64(seqNs) / float64(d)
+				ps.Efficiency = ps.Speedup / float64(w)
 			}
 			parallel = append(parallel, ps)
 		}
@@ -678,8 +691,8 @@ func PrintPlanner(w io.Writer, r *PlannerResult) {
 		r.SamplingQuery, r.Rounds, r.TreeNodes)
 	fmt.Fprintf(w, "    sequential:         %10.0f rounds/s\n", r.SequentialRoundsPerSec)
 	for _, p := range r.Parallel {
-		fmt.Fprintf(w, "    %d workers:          %10.0f rounds/s  (speedup %.2fx)\n",
-			p.Workers, p.RoundsPerSec, p.Speedup)
+		fmt.Fprintf(w, "    %d workers:          %10.0f rounds/s  (speedup %.2fx, efficiency %.2f, mutex wait %v)\n",
+			p.Workers, p.RoundsPerSec, p.Speedup, p.Efficiency, time.Duration(p.MutexWaitNs).Round(time.Microsecond))
 	}
 	if r.ParallelNote != "" {
 		fmt.Fprintf(w, "    %s\n", r.ParallelNote)

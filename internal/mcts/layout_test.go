@@ -1,0 +1,59 @@
+package mcts
+
+import (
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// TestNodeLayout pins the false-sharing contract of the Node struct: the
+// two per-round hot words (Visits, Reward) occupy the head of their own
+// 64-byte cache line, all cold fields start on the next line, and the
+// struct size is a whole number of lines so slab-allocated siblings never
+// overlap hot lines. If a toolchain change resizes a field (sync.Mutex,
+// say), this fails loudly and the pads need re-tuning.
+func TestNodeLayout(t *testing.T) {
+	const line = 64
+	var n Node
+	if off := unsafe.Offsetof(n.Visits); off != 0 {
+		t.Errorf("Visits at offset %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(n.Reward); off != 8 {
+		t.Errorf("Reward at offset %d, want 8", off)
+	}
+	if off := unsafe.Offsetof(n.Parent); off < line {
+		t.Errorf("cold fields start at offset %d, want >= %d (hot line not isolated)", off, line)
+	}
+	if sz := unsafe.Sizeof(n); sz%line != 0 {
+		t.Errorf("Node size %d is not a multiple of %d: slab siblings would share lines", sz, line)
+	}
+	if sz := unsafe.Sizeof(n); sz > 4*line {
+		t.Errorf("Node size %d exceeds 4 cache lines: padding overshot", sz)
+	}
+}
+
+// TestExpandSlabContiguity verifies expansion carves children out of one
+// contiguous slab (the per-expansion arena): consecutive siblings sit
+// exactly sizeof(Node) apart.
+func TestExpandSlabContiguity(t *testing.T) {
+	e := newEnv(t)
+	tree, err := NewTree(e.gen, e.result.GrandValue(), e.exactEval(), newTestRng(42))
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	kids := tree.Root().Children
+	if len(kids) < 2 {
+		t.Skip("root has fewer than 2 children")
+	}
+	stride := unsafe.Sizeof(*kids[0])
+	for i := 1; i < len(kids); i++ {
+		prev := uintptr(unsafe.Pointer(kids[i-1]))
+		cur := uintptr(unsafe.Pointer(kids[i]))
+		if cur-prev != stride {
+			t.Fatalf("children %d and %d are %d bytes apart, want %d (not slab-allocated)",
+				i-1, i, cur-prev, stride)
+		}
+	}
+}

@@ -16,6 +16,25 @@ import (
 // from the argument instead of shared state.
 type SeededEvalFunc func(s *speech.Speech, rng *rand.Rand) (reward float64, ok bool)
 
+// roundChunk is the number of rounds a worker claims from the shared
+// counter at a time. Per-round claims made the remaining-counter cache
+// line the single hottest word in a batch (every worker XADDs it every
+// round); chunked claims cut that traffic by the chunk factor while
+// keeping the tail short enough that workers finish a batch together.
+const roundChunk = 16
+
+// rootDelta batches a worker's root statistics. Every descent passes
+// through the root, so per-round atomic updates of root.Visits/Reward
+// made its cache line a global contention point — unlike deeper nodes,
+// whose traffic spreads across the tree. Root visits are only read as the
+// logN numerator for its children's UCT scores, which tolerates
+// chunk-bounded staleness; deltas flush at every chunk boundary and at
+// worker exit, so batch-final statistics are exact.
+type rootDelta struct {
+	visits int64
+	reward float64
+}
+
 // SampleParallelBatch performs up to rounds sampling rounds spread over
 // the given number of worker goroutines, using virtual loss: each worker
 // increments Visits along its descent path *before* evaluating, so
@@ -46,44 +65,91 @@ func (t *Tree) SampleParallelBatch(ctx context.Context, rounds, workers int) (in
 	}
 	var remaining atomic.Int64
 	remaining.Store(int64(rounds))
-	var done atomic.Int64
+	// Per-worker done counts land in a results slot after wg.Wait()'s
+	// happens-before edge — no shared counter on the round hot path.
+	done := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(seed int64) {
+		go func(seed int64, out *int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
-			var path []*Node
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				default:
-				}
-				if remaining.Add(-1) < 0 {
-					return
-				}
-				var ok bool
-				path, ok = t.sampleParallel(rng, path)
-				if ok {
-					done.Add(1)
-				}
+			eval := t.SeededEval
+			if t.SeededEvalFactory != nil {
+				eval = t.SeededEvalFactory()
 			}
-		}(seeds[w])
+			var path []*Node
+			var root rootDelta
+			defer t.flushRoot(&root)
+			var ok bool
+			for {
+				take := claimRounds(&remaining)
+				if take == 0 {
+					return
+				}
+				for i := 0; i < take; i++ {
+					select {
+					case <-ctx.Done():
+						return
+					default:
+					}
+					path, ok = t.sampleParallel(rng, eval, path, &root)
+					if ok {
+						*out++
+					}
+				}
+				t.flushRoot(&root)
+			}
+		}(seeds[w], &done[w])
 	}
 	wg.Wait()
-	return int(done.Load()), ctx.Err()
+	var total int64
+	for _, d := range done {
+		total += d
+	}
+	return int(total), ctx.Err()
+}
+
+// claimRounds takes up to roundChunk rounds from the shared counter,
+// returning 0 once the batch is exhausted. Overdrafts from racing workers
+// push the counter negative; the partial-tail math hands out exactly the
+// requested total across all claims.
+func claimRounds(remaining *atomic.Int64) int {
+	r := remaining.Add(-roundChunk)
+	if r <= -roundChunk {
+		return 0
+	}
+	if r < 0 {
+		return roundChunk + int(r)
+	}
+	return roundChunk
+}
+
+// flushRoot publishes a worker's batched root statistics.
+func (t *Tree) flushRoot(d *rootDelta) {
+	if d.visits != 0 {
+		atomic.AddInt64(&t.root.Visits, d.visits)
+		d.visits = 0
+	}
+	if d.reward != 0 {
+		atomicAddFloat64(&t.root.Reward, d.reward)
+		d.reward = 0
+	}
 }
 
 // sampleParallel is one parallel MCTS round. path is the worker's pooled
-// descent scratch (returned for reuse; nil allocates).
-func (t *Tree) sampleParallel(rng *rand.Rand, path []*Node) ([]*Node, bool) {
+// descent scratch (returned for reuse; nil allocates); root batches the
+// worker's root-statistics updates.
+func (t *Tree) sampleParallel(rng *rand.Rand, eval SeededEvalFunc, path []*Node, root *rootDelta) ([]*Node, bool) {
 	if t.DisablePathPooling {
 		path = nil
 	}
 	n := t.root
 	path = append(path[:0], n)
-	atomic.AddInt64(&n.Visits, 1) // virtual loss
+	// The root's virtual loss stays worker-local (root.visits): the root is
+	// on every path, so a shared increment here would serialize all workers
+	// on one cache line, and the root's own visit count steers nothing —
+	// descent *from* the root only reads it as its children's logN.
 	for {
 		if !n.expanded.Load() {
 			t.expand(n)
@@ -91,30 +157,37 @@ func (t *Tree) sampleParallel(rng *rand.Rand, path []*Node) ([]*Node, bool) {
 		if n.IsLeaf() {
 			break
 		}
-		n = t.maxUCTChildAtomic(n, rng)
+		var rootExtra int64
+		if n == t.root {
+			rootExtra = root.visits
+		}
+		n = t.maxUCTChildAtomic(n, rng, rootExtra)
 		atomic.AddInt64(&n.Visits, 1) // virtual loss
 		path = append(path, n)
 	}
-	r, ok := t.evalParallel(t.Speech(n), rng)
+	r, ok := t.evalParallel(eval, t.Speech(n), rng)
 	if !ok {
 		// No reward: revert the virtual losses so failed rounds leave no
-		// trace, matching the sequential sampler's "update nothing".
-		for _, p := range path {
+		// trace, matching the sequential sampler's "update nothing". The
+		// root contributed no shared increment, so path[0] is skipped.
+		for _, p := range path[1:] {
 			atomic.AddInt64(&p.Visits, -1)
 		}
 		return path, false
 	}
-	for _, p := range path {
+	root.visits++
+	root.reward += r
+	for _, p := range path[1:] {
 		atomicAddFloat64(&p.Reward, r)
 	}
 	return path, true
 }
 
-// evalParallel scores a leaf speech from a worker: the seeded evaluator
-// when available, else the sequential evaluator behind a mutex.
-func (t *Tree) evalParallel(sp *speech.Speech, rng *rand.Rand) (float64, bool) {
-	if t.SeededEval != nil {
-		return t.SeededEval(sp, rng)
+// evalParallel scores a leaf speech from a worker: the worker's seeded
+// evaluator when available, else the sequential evaluator behind a mutex.
+func (t *Tree) evalParallel(eval SeededEvalFunc, sp *speech.Speech, rng *rand.Rand) (float64, bool) {
+	if eval != nil {
+		return eval(sp, rng)
 	}
 	t.evalMu.Lock()
 	defer t.evalMu.Unlock()
@@ -125,8 +198,11 @@ func (t *Tree) evalParallel(sp *speech.Speech, rng *rand.Rand) (float64, bool) {
 // per-call allocation: unvisited children are picked uniformly by
 // reservoir sampling; a child whose visits drop to zero mid-scan (a
 // concurrent failed round reverting its virtual loss) is taken
-// immediately, the moral equivalent of its +Inf UCT score.
-func (t *Tree) maxUCTChildAtomic(n *Node, rng *rand.Rand) *Node {
+// immediately, the moral equivalent of its +Inf UCT score. rootExtra adds
+// the calling worker's unflushed root-visit delta when n is the root, and
+// the total is clamped to >= 1 so a stale shared count never feeds a
+// non-positive value to the logarithm.
+func (t *Tree) maxUCTChildAtomic(n *Node, rng *rand.Rand, rootExtra int64) *Node {
 	if t.UniformPolicy {
 		return n.Children[rng.Intn(len(n.Children))]
 	}
@@ -143,7 +219,11 @@ func (t *Tree) maxUCTChildAtomic(n *Node, rng *rand.Rand) *Node {
 	if pick != nil {
 		return pick
 	}
-	logN := math.Log(float64(atomic.LoadInt64(&n.Visits)))
+	visits := atomic.LoadInt64(&n.Visits) + rootExtra
+	if visits < 1 {
+		visits = 1
+	}
+	logN := math.Log(float64(visits))
 	var best *Node
 	bestScore := math.Inf(-1)
 	for _, c := range n.Children {

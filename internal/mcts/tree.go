@@ -28,16 +28,28 @@ import (
 type EvalFunc func(s *speech.Speech) (reward float64, ok bool)
 
 // Node is a search tree node adding one fragment to its parent's speech.
+//
+// Field order is a deliberate cache layout, verified by TestNodeLayout.
+// Visits and Reward are the only words parallel workers write on every
+// round (virtual-loss increments during descent, reward CAS on backup);
+// they lead the struct followed by padding so the hot 16 bytes own their
+// cache line, and a tail pad rounds the struct to a whole number of lines.
+// Without the padding, siblings allocated from one expansion slab would
+// false-share: worker A bumping child 3's visits would evict the line
+// holding child 4's counters from worker B's cache, and the read-mostly
+// cold fields (Parent, Children — read on every descent by every worker)
+// would ride the same invalidated lines.
 type Node struct {
-	// Parent is nil for the root.
-	Parent *Node
-	// Children are the valid one-fragment extensions.
-	Children []*Node
 	// Visits counts tree samples traversing this node.
 	Visits int64
 	// Reward accumulates sampled rewards over those visits.
 	Reward float64
+	_      [48]byte // rest of the hot cache line; see TestNodeLayout
 
+	// Parent is nil for the root.
+	Parent *Node
+	// Children are the valid one-fragment extensions.
+	Children []*Node
 	// baseline is set on first-level nodes.
 	baseline *speech.Baseline
 	// ref is set on refinement nodes.
@@ -57,6 +69,7 @@ type Node struct {
 	// so parallel workers can share it. A lost race rebuilds an identical
 	// speech — benign.
 	speechMemo atomic.Pointer[speech.Speech]
+	_          [40]byte // round the struct up to a multiple of 64 bytes
 }
 
 // IsLeaf reports whether the node has no children. Before expansion a node
@@ -95,6 +108,12 @@ type Tree struct {
 	// needs no shared mutable state. When nil, parallel workers serialize
 	// calls to the sequential evaluator behind evalMu.
 	SeededEval SeededEvalFunc
+	// SeededEvalFactory, when set, takes precedence over SeededEval in
+	// SampleParallelBatch: each worker calls it once at batch start and
+	// evaluates through its private instance for the whole batch. It lets
+	// evaluators keep per-worker mutable scratch (e.g. a belief reward
+	// kernel with hoisted constants) without any cross-worker sharing.
+	SeededEvalFactory func() SeededEvalFunc
 	// DisablePathPooling turns off reuse of the per-round descent path
 	// slice (and per-worker scratch in the parallel sampler). It exists
 	// for the allocs/round ablation in the planner benchmark.
@@ -223,18 +242,26 @@ func (t *Tree) expand(n *Node) {
 	}
 	prefs := t.gen.Prefs
 	maxChars := prefs.MaxCharsEffective()
-	var children []*Node
+	// Children are allocated from one contiguous slab per expansion — a
+	// per-expansion arena. One allocation instead of one per child, and a
+	// UCT scan over the siblings walks memory linearly. The slab may grow
+	// (and copy) while it is built; pointers are taken only once it is
+	// final, and nothing is published before the expanded flag flips.
+	var slab []Node
 	if n.baseline == nil && n.Parent == nil {
-		for _, b := range t.gen.BaselineCandidates(speech.SpeechScale(t.scale)) {
-			c := &Node{Parent: n, baseline: b, mainLen: len(b.Text())}
-			if maxChars > 0 && c.mainLen > maxChars {
+		cands := t.gen.BaselineCandidates(speech.SpeechScale(t.scale))
+		slab = make([]Node, 0, len(cands))
+		for _, b := range cands {
+			ln := len(b.Text())
+			if maxChars > 0 && ln > maxChars {
 				continue
 			}
-			children = append(children, c)
-			t.nodeCount.Add(1)
+			slab = append(slab, Node{Parent: n, baseline: b, mainLen: ln})
 		}
 	} else if prefs.MaxFragments <= 0 || n.depth < prefs.MaxFragments {
-		for _, r := range t.gen.Refinements(n.pathRefinements()) {
+		cands := t.gen.Refinements(n.pathRefinements())
+		slab = make([]Node, 0, len(cands))
+		for _, r := range cands {
 			ln := n.mainLen + 1 + len(r.Text())
 			if maxChars > 0 && ln > maxChars {
 				continue
@@ -242,10 +269,16 @@ func (t *Tree) expand(n *Node) {
 			if n.hasScopeOnPath(r) {
 				continue
 			}
-			c := &Node{Parent: n, ref: r, depth: n.depth + 1, mainLen: ln}
-			children = append(children, c)
-			t.nodeCount.Add(1)
+			slab = append(slab, Node{Parent: n, ref: r, depth: n.depth + 1, mainLen: ln})
 		}
+	}
+	var children []*Node
+	if len(slab) > 0 {
+		children = make([]*Node, len(slab))
+		for i := range slab {
+			children[i] = &slab[i]
+		}
+		t.nodeCount.Add(int64(len(slab)))
 	}
 	n.Children = children
 	n.expanded.Store(true)

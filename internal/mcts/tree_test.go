@@ -18,7 +18,7 @@ type env struct {
 	result *olap.Result
 }
 
-func newEnv(t *testing.T) *env {
+func newEnv(t testing.TB) *env {
 	t.Helper()
 	d, err := datagen.Flights(datagen.FlightsConfig{Rows: 10000, Seed: 41})
 	if err != nil {

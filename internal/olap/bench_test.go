@@ -1,0 +1,45 @@
+package olap
+
+import (
+	"runtime"
+	"testing"
+)
+
+const benchRows = 8 * evalChunkRows
+
+// BenchmarkEvaluateSpaceSequential is the single-threaded reference scan.
+func BenchmarkEvaluateSpaceSequential(b *testing.B) {
+	f := bigFixture(b, benchRows)
+	space, err := NewSpace(f.dataset, f.regionSeasonQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateSpaceSequential(space); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(benchRows))
+}
+
+// BenchmarkEvaluateSpaceWorkers runs the chunked parallel scan with as many
+// workers as the -cpu value grants; rows/s (SetBytes counts rows) rising
+// with -cpu is the scaling evidence for the slab-grid layout.
+func BenchmarkEvaluateSpaceWorkers(b *testing.B) {
+	f := bigFixture(b, benchRows)
+	space, err := NewSpace(f.dataset, f.regionSeasonQuery())
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateSpaceWorkers(space, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(benchRows))
+}

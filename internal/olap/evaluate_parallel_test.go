@@ -12,7 +12,7 @@ import (
 
 // bigFixture builds a dataset large enough (several evalChunkRows) that
 // EvaluateSpaceWorkers actually shards the scan.
-func bigFixture(t *testing.T, rows int) *fixture {
+func bigFixture(t testing.TB, rows int) *fixture {
 	t.Helper()
 	airport := dimension.MustNewHierarchy("start airport", "city", "flights starting from", "any airport",
 		[]string{"region", "city"})

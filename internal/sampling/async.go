@@ -13,18 +13,33 @@ import (
 
 // AsyncSampler fills a cache from a background goroutine, so on a real
 // clock the database scan truly overlaps voice output and planning — the
-// paper's "processing data in the background". All cache reads go through
-// the sampler's mutex; the planner calls the same Estimator methods it
-// would call on a plain Cache.
+// paper's "processing data in the background".
+//
+// Locking: mu guards only the cache. The background loop classifies each
+// batch into a private WorkerAccumulator *outside* the lock — row
+// classification and the measure gather are where an insert's time goes —
+// and holds mu just for the journal replay (Cache.MergeWorker, bit-
+// identical to inserting the batch directly). Estimate readers therefore
+// serialize only behind the short merge, not behind full insert bursts.
+// Readers do still take the mutex: unlike EpochSampler, this sampler backs
+// the exact single-stream path whose PooledConfidenceInterval pools raw
+// per-aggregate value lists, and those lists cannot be snapshotted in O(1).
+// Callers who want wait-free reads use EpochSampler instead. Lifecycle
+// state (started) lives under its own lock so Start/Stop never queue
+// behind a merge.
 type AsyncSampler struct {
 	mu      sync.Mutex
 	cache   *Cache
 	scanner table.Scanner
+	// staged is the loop-private accumulator; only the background
+	// goroutine touches it.
+	staged *WorkerAccumulator
 
 	batch    int
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
+	startMu  sync.Mutex
 	started  bool
 }
 
@@ -45,12 +60,17 @@ func NewAsyncSamplerWithScanner(space *olap.Space, scanner table.Scanner, batch 
 	if err != nil {
 		return nil, err
 	}
+	staged, err := NewWorkerAccumulator(space)
+	if err != nil {
+		return nil, err
+	}
 	if batch <= 0 {
 		batch = 256
 	}
 	return &AsyncSampler{
 		cache:   cache,
 		scanner: scanner,
+		staged:  staged,
 		batch:   batch,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -64,13 +84,13 @@ func (a *AsyncSampler) Start() { a.StartContext(context.Background()) }
 // when ctx is cancelled, when Stop is called, or when the table is
 // exhausted, whichever comes first. It may be called once.
 func (a *AsyncSampler) StartContext(ctx context.Context) {
-	a.mu.Lock()
+	a.startMu.Lock()
 	if a.started {
-		a.mu.Unlock()
+		a.startMu.Unlock()
 		return
 	}
 	a.started = true
-	a.mu.Unlock()
+	a.startMu.Unlock()
 	go a.loop(ctx)
 }
 
@@ -91,18 +111,21 @@ func (a *AsyncSampler) loop(ctx context.Context) {
 		if n == 0 {
 			return
 		}
+		// Classify outside the lock; hold mu only for the replay.
+		a.staged.InsertBatch(rows[:n])
 		a.mu.Lock()
-		a.cache.InsertBatch(rows[:n])
+		a.cache.MergeWorker(a.staged)
 		a.mu.Unlock()
+		a.staged.Reset()
 	}
 }
 
 // Stop halts the background scan and waits for it to finish. Safe to call
 // multiple times, concurrently, and before Start.
 func (a *AsyncSampler) Stop() {
-	a.mu.Lock()
+	a.startMu.Lock()
 	started := a.started
-	a.mu.Unlock()
+	a.startMu.Unlock()
 	a.stopOnce.Do(func() { close(a.stop) })
 	if started {
 		<-a.done
@@ -115,9 +138,9 @@ func (a *AsyncSampler) Stop() {
 // only safe option for a call that never returns — and exits on its own
 // if the scanner ever unblocks.
 func (a *AsyncSampler) StopWithin(grace time.Duration) bool {
-	a.mu.Lock()
+	a.startMu.Lock()
 	started := a.started
-	a.mu.Unlock()
+	a.startMu.Unlock()
 	a.stopOnce.Do(func() { close(a.stop) })
 	if !started {
 		return true

@@ -1,0 +1,158 @@
+package sampling
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/olap"
+)
+
+func benchSpace(b *testing.B, fct olap.AggFunc) *olap.Space {
+	b.Helper()
+	d, err := datagen.Flights(datagen.FlightsConfig{Rows: 50000, Seed: 11})
+	if err != nil {
+		b.Fatalf("Flights: %v", err)
+	}
+	q := olap.Query{
+		Fct: fct, Col: "cancelled",
+		GroupBy: []olap.GroupBy{
+			{Hierarchy: d.HierarchyByName("start airport"), Level: 1},
+			{Hierarchy: d.HierarchyByName("flight date"), Level: 1},
+		},
+	}
+	if fct == olap.Count {
+		q.Col = ""
+	}
+	s, err := olap.NewSpace(d, q)
+	if err != nil {
+		b.Fatalf("NewSpace: %v", err)
+	}
+	return s
+}
+
+// BenchmarkCacheInsertBatch is the sequential insert reference the merged
+// path is measured against.
+func BenchmarkCacheInsertBatch(b *testing.B) {
+	s := benchSpace(b, olap.Avg)
+	c, err := NewCache(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]int, 256)
+	n := s.Dataset().Table().NumRows()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rows {
+			rows[j] = rng.Intn(n)
+		}
+		c.InsertBatch(rows)
+	}
+}
+
+// BenchmarkWorkerAccumulatorFillMerge times one epoch through the
+// contention-free path: private classification plus the journal replay.
+func BenchmarkWorkerAccumulatorFillMerge(b *testing.B) {
+	s := benchSpace(b, olap.Avg)
+	c, err := NewCache(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := NewWorkerAccumulator(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]int, 256)
+	n := s.Dataset().Table().NumRows()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range rows {
+			rows[j] = rng.Intn(n)
+		}
+		w.InsertBatch(rows)
+		c.MergeWorker(w)
+		w.Reset()
+	}
+}
+
+// BenchmarkEpochSamplerEstimate hammers the wait-free read path from
+// parallel goroutines (scaled by -cpu) against a partially filled sampler.
+// Contention regressions here — a reintroduced read lock — show up as
+// ns/op exploding with the -cpu value.
+func BenchmarkEpochSamplerEstimate(b *testing.B) {
+	s := benchSpace(b, olap.Avg)
+	es, err := NewEpochSampler(s, rand.New(rand.NewSource(7)), 4, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	es.Start()
+	defer es.Stop()
+	for es.NrRead() < 4096 {
+		runtime.Gosched()
+	}
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			if agg, ok := es.PickAggregate(rng); ok {
+				es.Estimate(agg, rng)
+			}
+		}
+	})
+}
+
+// BenchmarkShardedSamplerEstimate is the locked-read predecessor, kept as
+// the contention baseline for the epoch sampler's wait-free reads.
+func BenchmarkShardedSamplerEstimate(b *testing.B) {
+	s := benchSpace(b, olap.Avg)
+	sh, err := NewShardedSampler(s, rand.New(rand.NewSource(7)), 4, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh.Start()
+	defer sh.Stop()
+	for sh.NrRead() < 4096 {
+		runtime.Gosched()
+	}
+	var seed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(seed.Add(1)))
+		for pb.Next() {
+			if agg, ok := sh.PickAggregate(rng); ok {
+				sh.Estimate(agg, rng)
+			}
+		}
+	})
+}
+
+// BenchmarkEpochSamplerDrain measures full-table ingest throughput
+// (rows/s) through the epoch path; workers match the -cpu value.
+func BenchmarkEpochSamplerDrain(b *testing.B) {
+	s := benchSpace(b, olap.Avg)
+	n := s.Dataset().Table().NumRows()
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		es, err := NewEpochSampler(s, rand.New(rand.NewSource(int64(i))), workers, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		es.Start()
+		<-es.Done()
+		es.Stop()
+	}
+	b.SetBytes(int64(n) * 8)
+}

@@ -1,0 +1,356 @@
+package sampling
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/olap"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// EpochSampler is the contention-free background sample source: one scan
+// goroutine per disjoint row partition, each filling a private
+// WorkerAccumulator with zero synchronization (classification and the
+// measure gather — the expensive part of an insert — never touch shared
+// state). At every batch boundary a worker briefly takes the single merge
+// lock, replays its epoch into the master cache (Cache.MergeWorker, bit-
+// identical to the sequential insert path over the same rows in merge
+// order), publishes an immutable snapshot of the master's moments, and
+// resets its accumulator for the next epoch.
+//
+// Estimator reads are wait-free: they load the latest published snapshot
+// with a single atomic pointer read and never contend with scan workers or
+// with each other. This is the structural fix for the ShardedSampler's read
+// path, which locked every shard's mutex on every Estimate call — under a
+// multi-worker planner, estimate reads serialized behind insert bursts.
+//
+// Exactness contract: the merged master cache is bit-identical to a
+// sequential Cache fed the same epochs in the same merge order (pinned by
+// TestEpochSamplerSingleWorkerBitIdentical and the merge property tests).
+// Across runs the inter-worker merge order is scheduling-dependent, so
+// multi-worker estimates are statistically equivalent — the same guarantee
+// any sampling estimate carries — while all counting state (NrRead,
+// NrInScope, per-aggregate counts) is exact.
+type EpochSampler struct {
+	space *olap.Space
+	batch int
+
+	workers []*epochWorker
+
+	// mergeMu serializes epoch merges into master and snapshot publishes.
+	// Scan workers take it once per batch; readers never take it.
+	mergeMu sync.Mutex
+	master  *Cache
+	snap    atomic.Pointer[epochSnapshot]
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	startMu  sync.Mutex
+	started  bool
+}
+
+// epochWorker is one scan goroutine's private state.
+type epochWorker struct {
+	scanner table.Scanner
+	acc     *WorkerAccumulator
+}
+
+// epochSnapshot is the immutable estimator state published after each
+// merge. It carries the master cache's O(1) moments — not the raw value
+// lists — so a publish is O(aggregates), independent of cache fill.
+type epochSnapshot struct {
+	fct       olap.AggFunc
+	totalRows int64
+	nrRead    int64
+	inScope   int64
+	grand     stats.Accumulator
+	accs      []stats.Accumulator
+	nonEmpty  []int
+}
+
+// Compile-time check: the epoch sampler is a full background source.
+var _ BackgroundSource = (*EpochSampler)(nil)
+
+// NewEpochSampler creates workers scan goroutines over near-equal disjoint
+// contiguous row partitions, each an independent full-cycle pseudo-random
+// walk seeded deterministically from rng. batch is the epoch size in rows
+// (<= 0 selects 256); workers <= 0 is an error, and the worker count is
+// capped at the table's row count.
+func NewEpochSampler(space *olap.Space, rng *rand.Rand, workers, batch int) (*EpochSampler, error) {
+	if workers <= 0 {
+		return nil, errors.New("sampling: epoch sampler worker count must be positive")
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	n := space.Dataset().Table().NumRows()
+	if n > 0 && workers > n {
+		workers = n
+	}
+	master, err := NewCache(space)
+	if err != nil {
+		return nil, err
+	}
+	s := &EpochSampler{
+		space:  space,
+		batch:  batch,
+		master: master,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		lo := i * n / workers
+		hi := (i + 1) * n / workers
+		acc, err := NewWorkerAccumulator(space)
+		if err != nil {
+			return nil, err
+		}
+		// One seed draw per worker keeps the walks independent and the
+		// whole construction a pure function of rng's state.
+		workerRng := rand.New(rand.NewSource(rng.Int63()))
+		s.workers = append(s.workers, &epochWorker{
+			scanner: table.NewRandomRangeScanner(lo, hi, workerRng),
+			acc:     acc,
+		})
+	}
+	s.snap.Store(s.snapshotLocked())
+	return s, nil
+}
+
+// NumWorkers returns the number of scan partitions.
+func (s *EpochSampler) NumWorkers() int { return len(s.workers) }
+
+// Start launches the background scans. It may be called once.
+func (s *EpochSampler) Start() { s.StartContext(context.Background()) }
+
+// StartContext launches one scan goroutine per worker, all bound to ctx:
+// scanning halts when ctx is cancelled, when Stop is called, or when every
+// partition is exhausted. It may be called once.
+func (s *EpochSampler) StartContext(ctx context.Context) {
+	s.startMu.Lock()
+	if s.started {
+		s.startMu.Unlock()
+		return
+	}
+	s.started = true
+	s.startMu.Unlock()
+	var wg sync.WaitGroup
+	for _, w := range s.workers {
+		wg.Add(1)
+		go func(w *epochWorker) {
+			defer wg.Done()
+			s.loop(ctx, w)
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(s.done)
+	}()
+}
+
+// loop drives one worker until its partition is exhausted, ctx is
+// cancelled, or Stop is called. Every filled epoch is merged before the
+// next batch starts, so exit leaves no journaled rows behind.
+func (s *EpochSampler) loop(ctx context.Context, w *epochWorker) {
+	rows := make([]int, s.batch)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if w.acc.fillFromScanner(w.scanner, rows) == 0 {
+			return
+		}
+		s.mergeEpoch(w.acc)
+	}
+}
+
+// mergeEpoch folds one worker's epoch into the master cache and publishes a
+// fresh snapshot. The critical section is the journal replay plus an
+// O(aggregates) moment copy — classification happened outside.
+func (s *EpochSampler) mergeEpoch(acc *WorkerAccumulator) {
+	s.mergeMu.Lock()
+	s.master.MergeWorker(acc)
+	s.snap.Store(s.snapshotLocked())
+	s.mergeMu.Unlock()
+	acc.Reset()
+}
+
+// snapshotLocked copies the master's estimator moments. Callers hold
+// mergeMu (or, at construction, exclusive access).
+func (s *EpochSampler) snapshotLocked() *epochSnapshot {
+	c := s.master
+	sn := &epochSnapshot{
+		fct:       s.space.Query().Fct,
+		totalRows: c.totalRows,
+		nrRead:    c.nrRead,
+		inScope:   c.inScope,
+		accs:      make([]stats.Accumulator, len(c.accs)),
+		nonEmpty:  make([]int, len(c.nonEmpty)),
+	}
+	copy(sn.accs, c.accs)
+	copy(sn.nonEmpty, c.nonEmpty)
+	sn.grand = c.grand
+	return sn
+}
+
+// Stop halts all scans and waits for them to finish. Safe to call multiple
+// times, concurrently, and before Start.
+func (s *EpochSampler) Stop() {
+	s.startMu.Lock()
+	started := s.started
+	s.startMu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	if started {
+		<-s.done
+	}
+}
+
+// StopWithin halts the scans like Stop but waits at most grace for the
+// goroutines to exit, returning false when some worker is stuck inside its
+// scanner (a hung storage backend) and had to be abandoned.
+func (s *EpochSampler) StopWithin(grace time.Duration) bool {
+	s.startMu.Lock()
+	started := s.started
+	s.startMu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	if !started {
+		return true
+	}
+	select {
+	case <-s.done:
+		return true
+	case <-time.After(grace):
+		return false
+	}
+}
+
+// Done returns a channel closed once every scan goroutine has exited
+// (table exhausted, context cancelled, or stopped). Benchmarks use it to
+// time a full-table drain without polling.
+func (s *EpochSampler) Done() <-chan struct{} { return s.done }
+
+// view returns the latest published snapshot: one atomic load, no locks.
+func (s *EpochSampler) view() *epochSnapshot { return s.snap.Load() }
+
+// PickAggregate implements Estimator from the snapshot: for averages an
+// aggregate is eligible once a merged epoch cached a row for it; for
+// counts and sums every aggregate is eligible once any row was read.
+func (s *EpochSampler) PickAggregate(rng *rand.Rand) (int, bool) {
+	sn := s.view()
+	if sn.fct == olap.Avg {
+		if len(sn.nonEmpty) == 0 {
+			return 0, false
+		}
+		return sn.nonEmpty[rng.Intn(len(sn.nonEmpty))], true
+	}
+	if len(sn.accs) == 0 || sn.nrRead == 0 {
+		return 0, false
+	}
+	return rng.Intn(len(sn.accs)), true
+}
+
+// Estimate implements Estimator with the same formulas as Cache.Estimate
+// over the snapshot's moments: count scales the cache hit rate, sum
+// multiplies the count estimate by the running mean, average is the mean.
+func (s *EpochSampler) Estimate(a int, rng *rand.Rand) (float64, bool) {
+	sn := s.view()
+	if sn.nrRead == 0 {
+		return 0, false
+	}
+	acc := &sn.accs[a]
+	countEst := float64(sn.totalRows) * float64(acc.Count()) / float64(sn.nrRead)
+	switch sn.fct {
+	case olap.Count:
+		return countEst, true
+	case olap.Sum:
+		if acc.Count() == 0 {
+			return 0, true
+		}
+		return countEst * acc.Mean(), true
+	case olap.Avg:
+		if acc.Count() == 0 {
+			return 0, false
+		}
+		return acc.Mean(), true
+	default:
+		return 0, false
+	}
+}
+
+// GrandEstimate estimates the aggregate value over the whole query scope
+// from the snapshot's grand moments, mirroring Cache.GrandEstimate.
+func (s *EpochSampler) GrandEstimate() (float64, bool) {
+	sn := s.view()
+	if sn.nrRead == 0 {
+		return 0, false
+	}
+	countEst := float64(sn.totalRows) * float64(sn.inScope) / float64(sn.nrRead)
+	switch sn.fct {
+	case olap.Count:
+		return countEst, true
+	case olap.Sum, olap.Avg:
+		if sn.inScope == 0 {
+			return 0, false
+		}
+		if sn.fct == olap.Sum {
+			return countEst * sn.grand.Mean(), true
+		}
+		return sn.grand.Mean(), true
+	default:
+		return 0, false
+	}
+}
+
+// NrRead returns the rows consumed by merged epochs so far.
+func (s *EpochSampler) NrRead() int64 { return s.view().nrRead }
+
+// NrInScope returns the cached (in-scope) rows of merged epochs so far.
+func (s *EpochSampler) NrInScope() int64 { return s.view().inScope }
+
+// PooledConfidenceInterval bounds the value over the union of the given
+// aggregates by Welford-merging their per-aggregate running moments from
+// the snapshot. Counts and sums are exact; the pooled variance is the
+// parallel-merge combination — statistically equivalent to, not bit-
+// identical with, Cache's raw-value pooling (documented in DESIGN.md).
+func (s *EpochSampler) PooledConfidenceInterval(aggs []int, confidence float64) (stats.Interval, bool) {
+	sn := s.view()
+	var acc stats.Accumulator
+	for _, a := range aggs {
+		aggAcc := sn.accs[a]
+		acc.Merge(&aggAcc)
+	}
+	switch sn.fct {
+	case olap.Avg:
+		if acc.Count() == 0 {
+			return stats.Interval{}, false
+		}
+		return stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence), true
+	case olap.Count:
+		if sn.nrRead == 0 {
+			return stats.Interval{}, false
+		}
+		nrRows := float64(sn.totalRows)
+		p := stats.ProportionConfidenceInterval(acc.Count(), sn.nrRead, confidence)
+		return stats.Interval{Lo: p.Lo * nrRows, Hi: p.Hi * nrRows}, true
+	case olap.Sum:
+		if sn.nrRead == 0 || acc.Count() == 0 {
+			return stats.Interval{}, false
+		}
+		nrRows := float64(sn.totalRows)
+		mean := stats.MeanConfidenceInterval(acc.Mean(), acc.StdDev(), acc.Count(), confidence)
+		scale := nrRows * float64(acc.Count()) / float64(sn.nrRead)
+		return stats.Interval{Lo: mean.Lo * scale, Hi: mean.Hi * scale}, true
+	default:
+		return stats.Interval{}, false
+	}
+}

@@ -1,0 +1,227 @@
+package sampling
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/olap"
+	"repro/internal/table"
+)
+
+func newEpochSampler(t *testing.T, s *olap.Space, seed int64, workers, batch int) *EpochSampler {
+	t.Helper()
+	es, err := NewEpochSampler(s, rand.New(rand.NewSource(seed)), workers, batch)
+	if err != nil {
+		t.Fatalf("NewEpochSampler: %v", err)
+	}
+	return es
+}
+
+// TestEpochSamplerDrainsTable proves the partitions are disjoint and
+// exhaustive: the workers together read every row exactly once, after
+// which the merged estimates reproduce the exact result.
+func TestEpochSamplerDrainsTable(t *testing.T) {
+	for _, fct := range []olap.AggFunc{olap.Count, olap.Sum, olap.Avg} {
+		s := flightsSpace(t, fct)
+		n := int64(s.Dataset().Table().NumRows())
+		es := newEpochSampler(t, s, 21, 4, 512)
+		es.Start()
+		waitForRows(t, es, n)
+		es.Stop()
+		if es.NrRead() != n {
+			t.Fatalf("fct %v: read %d of %d rows", fct, es.NrRead(), n)
+		}
+		exact, err := olap.EvaluateSpace(s)
+		if err != nil {
+			t.Fatalf("EvaluateSpace: %v", err)
+		}
+		rng := rand.New(rand.NewSource(22))
+		for a := 0; a < s.Size(); a++ {
+			want := exact.Value(a)
+			got, ok := es.Estimate(a, rng)
+			if math.IsNaN(want) {
+				if ok {
+					t.Errorf("fct %v agg %d: estimate %v for empty average", fct, a, got)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("fct %v agg %d: estimate unavailable after full drain", fct, a)
+				continue
+			}
+			if math.Abs(got-want) > math.Abs(want)*1e-9+1e-9 {
+				t.Errorf("fct %v agg %d: estimate %v, exact %v", fct, a, got, want)
+			}
+		}
+		grand, ok := es.GrandEstimate()
+		if !ok {
+			t.Fatalf("fct %v: grand estimate unavailable", fct)
+		}
+		want := exact.GrandValue()
+		if math.Abs(grand-want) > math.Abs(want)*1e-9+1e-9 {
+			t.Errorf("fct %v: grand %v, exact %v", fct, grand, want)
+		}
+	}
+}
+
+// TestEpochSamplerSingleWorkerBitIdentical pins the sequential-reference
+// contract end to end: a one-worker epoch sampler drained to exhaustion
+// leaves a master cache bit-identical to a plain Cache fed the identical
+// scan walk through InsertBatch — the epoch machinery (journal, replay,
+// snapshot publishing) adds zero numeric deviation.
+func TestEpochSamplerSingleWorkerBitIdentical(t *testing.T) {
+	for _, fct := range []olap.AggFunc{olap.Count, olap.Sum, olap.Avg} {
+		s := flightsSpace(t, fct)
+		n := s.Dataset().Table().NumRows()
+		const seed, batch = 31, 512
+
+		es := newEpochSampler(t, s, seed, 1, batch)
+		es.Start()
+		waitForRows(t, es, int64(n))
+		es.Stop()
+
+		// Replicate the worker's deterministic scan: construction draws one
+		// Int63 per worker from the constructor rng.
+		workerSeed := rand.New(rand.NewSource(seed)).Int63()
+		sc := table.NewRandomRangeScanner(0, n, rand.New(rand.NewSource(workerSeed)))
+		sequential, err := NewCache(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]int, batch)
+		for {
+			k := table.FillBatch(sc, rows)
+			if k == 0 {
+				break
+			}
+			sequential.InsertBatch(rows[:k])
+		}
+		requireCachesBitIdentical(t, es.master, sequential, fct.String()+" single worker")
+	}
+}
+
+// TestEpochSamplerConverges checks the merged estimator on a partial scan.
+func TestEpochSamplerConverges(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	es := newEpochSampler(t, s, 23, 4, 128)
+	es.Start()
+	waitForRows(t, es, 5000)
+	es.Stop()
+	exact, err := olap.EvaluateSpace(s)
+	if err != nil {
+		t.Fatalf("EvaluateSpace: %v", err)
+	}
+	got, ok := es.GrandEstimate()
+	if !ok {
+		t.Fatal("grand estimate unavailable")
+	}
+	want := exact.GrandValue()
+	if math.Abs(got-want) > 0.1*math.Abs(want)+0.01 {
+		t.Errorf("grand estimate %v too far from exact %v after %d rows", got, want, es.NrRead())
+	}
+}
+
+func TestEpochSamplerStopIsIdempotent(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	es := newEpochSampler(t, s, 24, 3, 64)
+	es.Stop()
+	es.Stop()
+	es.Start()
+	es.Stop()
+	if !es.StopWithin(time.Second) {
+		t.Error("StopWithin timed out after Stop")
+	}
+}
+
+func TestEpochSamplerContextCancel(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	es := newEpochSampler(t, s, 25, 4, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	es.StartContext(ctx)
+	waitForRows(t, es, 256)
+	cancel()
+	if !es.StopWithin(5 * time.Second) {
+		t.Fatal("workers did not exit after context cancellation")
+	}
+}
+
+// TestEpochSamplerHammer drives wait-free estimator reads from several
+// goroutines while the scans run and other goroutines call Stop
+// concurrently. Under -race it proves the publish discipline: workers
+// mutate the master only under mergeMu and readers only ever touch
+// immutable snapshots.
+func TestEpochSamplerHammer(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	es := newEpochSampler(t, s, 26, 4, 64)
+	es.Start()
+	all := make([]int, s.Size())
+	for i := range all {
+		all[i] = i
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				if agg, ok := es.PickAggregate(rng); ok {
+					es.Estimate(agg, rng)
+				}
+				es.GrandEstimate()
+				es.NrRead()
+				es.NrInScope()
+				es.PooledConfidenceInterval(all, 0.95)
+			}
+		}(int64(100 + g))
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			es.Stop()
+			es.StopWithin(time.Second)
+		}()
+	}
+	wg.Wait()
+	es.Stop()
+}
+
+func TestEpochSamplerPooledInterval(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	es := newEpochSampler(t, s, 27, 4, 256)
+	es.Start()
+	waitForRows(t, es, 2000)
+	es.Stop()
+	all := make([]int, s.Size())
+	for i := range all {
+		all[i] = i
+	}
+	iv, ok := es.PooledConfidenceInterval(all, 0.95)
+	if !ok {
+		t.Fatal("pooled interval unavailable after 2000 rows")
+	}
+	if !(iv.Lo <= iv.Hi) {
+		t.Errorf("malformed interval [%v, %v]", iv.Lo, iv.Hi)
+	}
+}
+
+// TestEpochSamplerDoneSignalsDrain: Done closes once the table is
+// exhausted, without any Stop call.
+func TestEpochSamplerDoneSignalsDrain(t *testing.T) {
+	s := flightsSpace(t, olap.Count)
+	es := newEpochSampler(t, s, 28, 4, 1024)
+	es.Start()
+	select {
+	case <-es.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("Done did not close after table exhaustion")
+	}
+	if es.NrRead() != int64(s.Dataset().Table().NumRows()) {
+		t.Fatalf("drained %d of %d rows", es.NrRead(), s.Dataset().Table().NumRows())
+	}
+}

@@ -1,0 +1,248 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/olap"
+)
+
+// requireCachesBitIdentical fails unless the two caches hold exactly the
+// same state, bit for bit: counters, non-empty order, raw value lists, and
+// the Welford moments of every accumulator (struct equality compares the
+// float64 fields exactly).
+func requireCachesBitIdentical(t *testing.T, got, want *Cache, label string) {
+	t.Helper()
+	if got.nrRead != want.nrRead || got.inScope != want.inScope || got.totalRows != want.totalRows {
+		t.Fatalf("%s: counters diverge: read %d/%d inScope %d/%d total %d/%d", label,
+			got.nrRead, want.nrRead, got.inScope, want.inScope, got.totalRows, want.totalRows)
+	}
+	if len(got.nonEmpty) != len(want.nonEmpty) {
+		t.Fatalf("%s: nonEmpty %d vs %d", label, len(got.nonEmpty), len(want.nonEmpty))
+	}
+	for i := range got.nonEmpty {
+		if got.nonEmpty[i] != want.nonEmpty[i] {
+			t.Fatalf("%s: nonEmpty[%d] = %d, want %d", label, i, got.nonEmpty[i], want.nonEmpty[i])
+		}
+	}
+	if got.grand != want.grand {
+		t.Fatalf("%s: grand moments diverge: %+v vs %+v", label, got.grand, want.grand)
+	}
+	for a := range got.values {
+		if got.accs[a] != want.accs[a] {
+			t.Fatalf("%s: agg %d moments diverge: %+v vs %+v", label, a, got.accs[a], want.accs[a])
+		}
+		if len(got.values[a]) != len(want.values[a]) {
+			t.Fatalf("%s: agg %d has %d values, want %d", label, a, len(got.values[a]), len(want.values[a]))
+		}
+		for i := range got.values[a] {
+			if got.values[a][i] != want.values[a][i] {
+				t.Fatalf("%s: agg %d value[%d] = %v, want %v", label, a, i, got.values[a][i], want.values[a][i])
+			}
+		}
+	}
+}
+
+// randomEpochs draws random row batches (sampling with replacement, like
+// the pseudo-random scan) split into epochs of random sizes.
+func randomEpochs(rng *rand.Rand, numRows, epochs int) [][]int {
+	out := make([][]int, epochs)
+	for e := range out {
+		size := 1 + rng.Intn(200)
+		rows := make([]int, size)
+		for i := range rows {
+			rows[i] = rng.Intn(numRows)
+		}
+		out[e] = rows
+	}
+	return out
+}
+
+// TestMergeWorkerBitIdentical is the accumulator-merge pinning test: for
+// any worker count and any merge order, a cache assembled by replaying
+// per-worker epoch-local accumulators is bit-identical to a sequential
+// cache that ran InsertBatch over the same epochs in the same merge order.
+// The parallel machinery must add zero numeric deviation beyond the row
+// order itself — which a pseudo-random sequential scan has anyway.
+func TestMergeWorkerBitIdentical(t *testing.T) {
+	for _, fct := range []olap.AggFunc{olap.Count, olap.Sum, olap.Avg} {
+		s := flightsSpace(t, fct)
+		numRows := s.Dataset().Table().NumRows()
+		for trial := 0; trial < 8; trial++ {
+			rng := rand.New(rand.NewSource(int64(1000*trial) + 7))
+			workers := 1 + rng.Intn(8)
+			epochs := randomEpochs(rng, numRows, workers*(1+rng.Intn(4)))
+			mergeOrder := rng.Perm(len(epochs))
+
+			// Worker accumulators are reused across epochs round-robin,
+			// exercising the Reset recycling of the real scan loop.
+			accs := make([]*WorkerAccumulator, workers)
+			for i := range accs {
+				w, err := NewWorkerAccumulator(s)
+				if err != nil {
+					t.Fatalf("NewWorkerAccumulator: %v", err)
+				}
+				accs[i] = w
+			}
+			merged, err := NewCache(s)
+			if err != nil {
+				t.Fatalf("NewCache: %v", err)
+			}
+			sequential, err := NewCache(s)
+			if err != nil {
+				t.Fatalf("NewCache: %v", err)
+			}
+			for i, e := range mergeOrder {
+				w := accs[i%workers]
+				w.InsertBatch(epochs[e])
+				merged.MergeWorker(w)
+				w.Reset()
+				sequential.InsertBatch(epochs[e])
+			}
+			requireCachesBitIdentical(t, merged, sequential, fct.String())
+		}
+	}
+}
+
+// TestMergeWorkerPartialEpochs checks that an accumulator filled by
+// several InsertBatch calls before one merge behaves like the same calls
+// applied to the cache directly: epochs are journals, not single batches.
+func TestMergeWorkerPartialEpochs(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	rng := rand.New(rand.NewSource(42))
+	w, err := NewWorkerAccumulator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _ := NewCache(s)
+	sequential, _ := NewCache(s)
+	batches := randomEpochs(rng, s.Dataset().Table().NumRows(), 5)
+	for _, b := range batches {
+		w.InsertBatch(b)
+		sequential.InsertBatch(b)
+	}
+	merged.MergeWorker(w)
+	requireCachesBitIdentical(t, merged, sequential, "partial epochs")
+	if w.NrRead() == 0 || w.NrInScope() == 0 {
+		t.Fatal("accumulator should report journaled rows before Reset")
+	}
+	w.Reset()
+	if w.NrRead() != 0 || w.NrInScope() != 0 {
+		t.Fatal("Reset left journaled rows behind")
+	}
+}
+
+// TestMergeWorkerAbsorbAppendMidMerge pins the streaming interaction: a
+// cache that merges worker epochs, absorbs an append delta, rebinds the
+// workers, and merges more epochs over the new snapshot stays bit-identical
+// to a sequential cache driven through the same InsertBatch/AbsorbAppend
+// sequence.
+func TestMergeWorkerAbsorbAppendMidMerge(t *testing.T) {
+	base, err := datagen.Flights(datagen.FlightsConfig{Rows: 5000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fct := range []olap.AggFunc{olap.Count, olap.Sum, olap.Avg} {
+		live, err := base.Table().AppendableCopy(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(99))
+		space0 := streamingFlightsSpace(t, live.Snapshot(), base, fct, 0)
+		merged, err := NewCache(space0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential, err := NewCache(space0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers := make([]*WorkerAccumulator, 3)
+		for i := range workers {
+			if workers[i], err = NewWorkerAccumulator(space0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mergeAll := func(epochs [][]int) {
+			for i, e := range epochs {
+				w := workers[i%len(workers)]
+				w.InsertBatch(e)
+				merged.MergeWorker(w)
+				w.Reset()
+				sequential.InsertBatch(e)
+			}
+		}
+		mergeAll(randomEpochs(rng, 5000, 6))
+
+		appendFlightRows(t, live, 700, time.Date(2026, 1, 1, 1, 0, 0, 0, time.UTC))
+		space1 := streamingFlightsSpace(t, live.Snapshot(), base, fct, 0)
+		if err := merged.AbsorbAppend(space1); err != nil {
+			t.Fatalf("%v: AbsorbAppend(merged): %v", fct, err)
+		}
+		if err := sequential.AbsorbAppend(space1); err != nil {
+			t.Fatalf("%v: AbsorbAppend(sequential): %v", fct, err)
+		}
+		for _, w := range workers {
+			if err := w.Rebind(space1); err != nil {
+				t.Fatalf("%v: Rebind: %v", fct, err)
+			}
+		}
+		// Post-append epochs range over the grown table, including the
+		// absorbed delta rows.
+		mergeAll(randomEpochs(rng, 5700, 6))
+		requireCachesBitIdentical(t, merged, sequential, fct.String()+" mid-merge absorb")
+	}
+}
+
+// TestRebindRejectsDirtyAccumulator: rebinding with journaled rows would
+// mix row spaces across snapshots.
+func TestRebindRejectsDirtyAccumulator(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	w, err := NewWorkerAccumulator(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.InsertBatch([]int{1, 2, 3})
+	if err := w.Rebind(s); err == nil {
+		t.Fatal("Rebind of a non-empty accumulator should fail")
+	}
+	w.Reset()
+	if err := w.Rebind(s); err != nil {
+		t.Fatalf("Rebind after Reset: %v", err)
+	}
+}
+
+// TestMergeWorkerSpaceMismatchPanics pins the guard against merging an
+// accumulator classified over a differently-sized aggregate space.
+func TestMergeWorkerSpaceMismatchPanics(t *testing.T) {
+	s := flightsSpace(t, olap.Avg)
+	d, err := datagen.Flights(datagen.FlightsConfig{Rows: 1000, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := olap.Query{
+		Fct: olap.Avg, Col: "cancelled",
+		GroupBy: []olap.GroupBy{{Hierarchy: d.HierarchyByName("start airport"), Level: 1}},
+	}
+	other, err := olap.NewSpace(d, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Size() == s.Size() {
+		t.Skip("spaces coincidentally equal-sized")
+	}
+	c, _ := NewCache(s)
+	w, err := NewWorkerAccumulator(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.InsertBatch([]int{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MergeWorker across spaces should panic")
+		}
+	}()
+	c.MergeWorker(w)
+}
